@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_table*``/``test_fig*`` module regenerates one table or figure
+of the paper: it benchmarks the computation that produces it, asserts the
+acceptance criteria from DESIGN.md §6, and writes the reproduced artifact
+to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(output_dir):
+    def _save(name: str, text: str) -> None:
+        (output_dir / name).write_text(text)
+        print(f"\n{text}")
+
+    return _save

@@ -1,0 +1,80 @@
+"""Ablation — input-size sensitivity of the pipeline regression.
+
+Dynamic analysis is input-sensitive (Section II); this bench re-profiles
+the reg_detect kernel at growing sizes and checks the fitted coefficients
+are stable while the efficiency factor converges toward 1 from below
+(the fixed b = -1 matters less as the loop gets longer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_programs import get_benchmark
+from repro.patterns.engine import analyze
+from repro.reporting.tables import format_table
+
+SIZES = (12, 24, 48, 96)
+
+
+def _fit(n: int):
+    spec = get_benchmark("reg_detect")
+    rng = np.random.default_rng(11)
+    m = 16
+    result = analyze(
+        spec.program,
+        spec.entry,
+        [[rng.random((n, m)), np.zeros(n), np.zeros(n), n, m]],
+        hotspot_threshold=spec.hotspot_threshold,
+    )
+    assert result.pipelines
+    return result.pipelines[0]
+
+
+@pytest.fixture(scope="module")
+def fits():
+    return {n: _fit(n) for n in SIZES}
+
+
+def test_ablation_inputs(benchmark, save_artifact, fits):
+    benchmark(lambda: _fit(24))
+    rows = [[n, p.n_pairs, p.a, p.b, p.efficiency] for n, p in fits.items()]
+    save_artifact(
+        "ablation_inputs.txt",
+        format_table(
+            ["n", "pairs", "a", "b", "e"],
+            rows,
+            title="Ablation: reg_detect regression vs input size",
+        ),
+    )
+
+
+class TestStability:
+    def test_coefficients_input_independent(self, fits):
+        for n, p in fits.items():
+            assert p.a == pytest.approx(1.0, abs=0.02), n
+            assert p.b == pytest.approx(-1.0, abs=0.2), n
+
+    def test_efficiency_converges_to_one(self, fits):
+        efficiencies = [fits[n].efficiency for n in SIZES]
+        assert all(e < 1.0 for e in efficiencies)
+        assert efficiencies == sorted(efficiencies)  # monotone in size
+        assert efficiencies[-1] > 0.97
+
+    def test_pair_count_tracks_trip_count(self, fits):
+        for n, p in fits.items():
+            assert p.n_pairs == n - 2  # loop y runs from 1 to n-2
+
+    def test_merged_profiles_match_single_run(self):
+        """Merging two different-size profiles keeps the same fit."""
+        spec = get_benchmark("reg_detect")
+        rng = np.random.default_rng(11)
+        m = 16
+        arg_sets = [
+            [rng.random((24, m)), np.zeros(24), np.zeros(24), 24, m],
+            [rng.random((48, m)), np.zeros(48), np.zeros(48), 48, m],
+        ]
+        result = analyze(spec.program, spec.entry, arg_sets)
+        assert result.pipelines
+        p = result.pipelines[0]
+        assert p.a == pytest.approx(1.0, abs=0.02)
+        assert p.b == pytest.approx(-1.0, abs=0.3)

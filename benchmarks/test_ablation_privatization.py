@@ -1,0 +1,66 @@
+"""Ablation — how much of the detection depends on privatization analysis.
+
+DiscoPoP treats variables that are written before read in every iteration
+as privatizable (DESIGN.md §5.4).  Without that analysis, every loop-local
+temporary's WAR/WAW blocks do-all classification; this bench measures the
+collapse in do-all (and hence fusion/GD) detection across the registry.
+"""
+
+import pytest
+
+from repro.bench_programs import all_benchmarks, analyze_benchmark
+from repro.patterns.doall import classify_loop
+from repro.reporting.tables import format_table
+
+NAMES = [spec.name for spec in all_benchmarks()]
+
+
+def _doall_counts(name: str) -> tuple[int, int]:
+    result = analyze_benchmark(name)
+    with_priv = without_priv = 0
+    for loop in result.profile.loop_trips:
+        if classify_loop(result.program, result.profile, loop).is_doall:
+            with_priv += 1
+        if classify_loop(
+            result.program, result.profile, loop, use_privatization=False
+        ).is_doall:
+            without_priv += 1
+    return with_priv, without_priv
+
+
+@pytest.fixture(scope="module")
+def counts():
+    return {name: _doall_counts(name) for name in NAMES}
+
+
+def test_ablation_privatization(benchmark, save_artifact, counts):
+    benchmark(lambda: _doall_counts("2mm"))
+    rows = [[name, w, wo] for name, (w, wo) in counts.items()]
+    total_with = sum(w for w, _ in counts.values())
+    total_without = sum(wo for _, wo in counts.values())
+    rows.append(["TOTAL", total_with, total_without])
+    save_artifact(
+        "ablation_privatization.txt",
+        format_table(
+            ["Application", "do-all loops (with priv.)", "do-all loops (without)"],
+            rows,
+            title="Ablation: privatization analysis vs do-all detection rate",
+        ),
+    )
+
+
+class TestPrivatizationMatters:
+    def test_detection_rate_collapses_without_it(self, counts):
+        total_with = sum(w for w, _ in counts.values())
+        total_without = sum(wo for _, wo in counts.values())
+        assert total_without < total_with / 2
+
+    def test_fusion_benchmarks_lose_their_doall_stages(self, counts):
+        # correlation's stages hold accumulators in privatizable scalars
+        with_priv, without_priv = counts["correlation"]
+        assert with_priv >= 2
+        assert without_priv < with_priv
+
+    def test_never_creates_false_doall(self, counts):
+        for name, (w, wo) in counts.items():
+            assert wo <= w, f"{name}: removing privatization added do-all loops"

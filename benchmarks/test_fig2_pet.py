@@ -1,0 +1,55 @@
+"""Figure 2 — an execution tree (PET) with control regions.
+
+A driver loop calls a helper with its own loop; the PET must show the
+function/loop nesting with merged loop iterations, invocation counts, and
+per-node instruction counts.  The DOT rendering is saved as the figure.
+"""
+
+import numpy as np
+
+from repro.bench_programs.synthetic import FIGURE2_SRC, parsed_program
+from repro.profiling import profile_run
+from repro.reporting.dot import pet_dot
+
+
+def _profile():
+    program = parsed_program(FIGURE2_SRC)
+    profile, _ = profile_run(program, "figure2", [np.ones(16), np.zeros(16), 16])
+    return program, profile
+
+
+def test_fig2(benchmark, save_artifact):
+    program, profile = benchmark(_profile)
+    save_artifact("fig2_pet.dot", pet_dot(profile.pet, title="Figure 2 (reproduced)"))
+
+
+class TestPETStructure:
+    def test_tree_shape(self):
+        program, profile = _profile()
+        root = profile.pet
+        assert root.kind == "function"
+        assert root.region == program.function("figure2").region_id
+        (outer_loop,) = root.children
+        assert outer_loop.kind == "loop"
+        kinds = sorted(c.kind for c in outer_loop.children)
+        assert kinds == ["function", "loop"]
+
+    def test_loop_iterations_merged_with_trip_counts(self):
+        _, profile = _profile()
+        (outer_loop,) = profile.pet.children
+        assert outer_loop.total_trips == 3
+        inner_b = next(c for c in outer_loop.children if c.kind == "loop")
+        assert inner_b.total_trips == 3 * 16  # merged across invocations
+
+    def test_helper_invocations_counted(self):
+        _, profile = _profile()
+        (outer_loop,) = profile.pet.children
+        helper = next(c for c in outer_loop.children if c.kind == "function")
+        assert helper.invocations == 3
+
+    def test_instruction_counts_nest(self):
+        _, profile = _profile()
+        for node in profile.pet.walk():
+            child_sum = sum(c.inclusive_cost for c in node.children)
+            assert node.inclusive_cost >= child_sum
+            assert node.inclusive_cost == node.exclusive_cost + child_sum

@@ -1,0 +1,98 @@
+"""Figure 3 — the CU graph of cilksort() with fork/worker/barrier labels.
+
+Section III-B walks through this graph: CU_0 forks four workers (the
+recursive sorts); one merge is a barrier for sorts 1+2, another for sorts
+3+4, and those two barriers can run in parallel; the final merge is a
+barrier for both and can run in parallel with neither.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_programs import analyze_benchmark, get_benchmark
+from repro.graphs.algorithms import has_path
+from repro.reporting.dot import cu_graph_dot
+from repro.runtime import run_program
+
+
+@pytest.fixture(scope="module")
+def task():
+    result = analyze_benchmark("sort")
+    region = result.program.function("cilksort").region_id
+    return result.tasks[region]
+
+
+@pytest.fixture(scope="module")
+def roles(task):
+    """Identify the figure's CUs by their callees and dependences."""
+    sorts = [cu for cu in task.cus if cu.callees == ["cilksort"]]
+    merges = [cu for cu in task.cus if cu.callees == ["cilkmerge"]]
+    assert len(sorts) == 4, "four recursive quarter sorts"
+    assert len(merges) == 3, "two half merges + the final merge"
+    final = max(merges, key=lambda cu: cu.first_line)
+    half_merges = [m for m in merges if m is not final]
+    return sorts, half_merges, final
+
+
+def test_fig3(benchmark, save_artifact, task):
+    benchmark(lambda: analyze_benchmark("sort").tasks)
+    save_artifact("fig3_cilksort.dot", cu_graph_dot(task, title="Figure 3 (reproduced)"))
+
+
+class TestFigure3:
+    def test_sort_actually_sorts(self):
+        spec = get_benchmark("sort")
+        rng = np.random.default_rng(5)
+        data = rng.random(128)
+        result = run_program(spec.program, "cilksort", [data, np.zeros(128), 0, 128])
+        assert np.allclose(result.arrays["A"], np.sort(data))
+
+    def test_quarter_computation_forks_the_four_sorts(self, task, roles):
+        sorts, _, _ = roles
+        # the CU holding the quarter computation (CU_0) feeds all four sorts
+        feeders = [
+            set(task.graph.predecessors(cu.cu_id)) for cu in sorts
+        ]
+        common = set.intersection(*feeders)
+        assert common, "all four sorts share the forking CU_0"
+        cu0 = min(common)
+        assert task.marks[cu0] == "fork"
+
+    def test_sorts_are_workers(self, task, roles):
+        sorts, _, _ = roles
+        for cu in sorts:
+            assert task.marks[cu.cu_id] == "worker", cu.describe()
+
+    def test_half_merges_are_barriers_for_two_sorts_each(self, task, roles):
+        sorts, half_merges, _ = roles
+        sort_ids = {cu.cu_id for cu in sorts}
+        for merge in half_merges:
+            assert task.marks[merge.cu_id] == "barrier"
+            inputs = set(task.graph.predecessors(merge.cu_id)) & sort_ids
+            assert len(inputs) == 2, f"{merge.label} waits on two sorts"
+
+    def test_final_merge_is_a_barrier_for_the_half_merges(self, task, roles):
+        _, half_merges, final = roles
+        assert task.marks[final.cu_id] == "barrier"
+        preds = set(task.graph.predecessors(final.cu_id))
+        assert {m.cu_id for m in half_merges} <= preds
+
+    def test_half_merges_can_run_in_parallel(self, task, roles):
+        _, half_merges, _ = roles
+        m1, m2 = (m.cu_id for m in half_merges)
+        assert (min(m1, m2), max(m1, m2)) in task.parallel_barriers
+
+    def test_final_merge_cannot_run_with_either(self, task, roles):
+        _, half_merges, final = roles
+        for m in half_merges:
+            pair = (min(m.cu_id, final.cu_id), max(m.cu_id, final.cu_id))
+            assert pair not in task.parallel_barriers
+            assert has_path(task.graph, m.cu_id, final.cu_id)
+
+    def test_sorts_pairwise_independent(self, task, roles):
+        sorts, _, _ = roles
+        ids = [cu.cu_id for cu in sorts]
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                assert not has_path(task.graph, a, b)
+                assert not has_path(task.graph, b, a)

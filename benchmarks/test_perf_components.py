@@ -1,0 +1,78 @@
+"""Component micro-benchmarks: throughput of each pipeline stage.
+
+Not a paper table — this tracks the reproduction's own performance so
+regressions in the lexer/parser/interpreter/profiler show up in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_programs import get_benchmark
+from repro.cu import build_cu_graph, detect_cus
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.patterns.regression import efficiency_factor, fit_iteration_pairs
+from repro.profiling import profile_run
+from repro.runtime import run_program
+
+_SRC = get_benchmark("2mm").source
+
+
+@pytest.fixture(scope="module")
+def mm_args():
+    return get_benchmark("2mm").arg_sets()[0]
+
+
+def test_perf_lexer(benchmark):
+    tokens = benchmark(tokenize, _SRC * 4)
+    assert len(tokens) > 100
+
+
+def test_perf_parser(benchmark):
+    program = benchmark(parse_program, _SRC)
+    assert program.has_function("kernel_2mm")
+
+
+def test_perf_interpreter(benchmark, mm_args):
+    program = parse_program(_SRC)
+    result = benchmark(run_program, program, "kernel_2mm", mm_args)
+    assert result.total_cost > 10_000
+
+
+def test_perf_profiler(benchmark, mm_args):
+    program = parse_program(_SRC)
+
+    def profiled():
+        profile, _ = profile_run(program, "kernel_2mm", mm_args)
+        return profile
+
+    profile = benchmark(profiled)
+    assert profile.deps
+
+
+def test_perf_cu_detection(benchmark):
+    program = parse_program(get_benchmark("sort").source)
+    region = program.function("cilksort").region_id
+    cus = benchmark(detect_cus, program, region)
+    assert len(cus) >= 8
+
+
+def test_perf_cu_graph(benchmark, mm_args):
+    program = parse_program(_SRC)
+    profile, _ = profile_run(program, "kernel_2mm", mm_args)
+    region = program.function("kernel_2mm").region_id
+    cus = detect_cus(program, region)
+    graph = benchmark(build_cu_graph, cus, profile, region)
+    assert len(graph) == len(cus)
+
+
+def test_perf_regression_fit(benchmark):
+    rng = np.random.default_rng(0)
+    pairs = [(i, i + int(rng.integers(0, 3))) for i in range(10_000)]
+
+    def fit():
+        f = fit_iteration_pairs(pairs)
+        return efficiency_factor(f.a, f.b, 10_000, 10_000)
+
+    e = benchmark(fit)
+    assert 0.0 <= e <= 2.0

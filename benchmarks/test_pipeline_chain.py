@@ -1,0 +1,105 @@
+"""Section III-A's chain claim, end to end.
+
+"If there is a chain dependence of n loops, it gives n pairs of
+relationships.  A pipeline of n stages can be easily implemented by
+merging the information provided by the tool."  This bench builds a
+three-loop chain, checks the detector reports exactly the pairwise
+relationships, reassembles them into a chain, and simulates the 3-stage
+schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.patterns.engine import analyze
+from repro.patterns.pipeline import pipeline_chains
+from repro.reporting.tables import format_table
+from repro.sim import Machine, compose_speedup, simulate_pipeline_chain
+from repro.sim.planner import loop_invocation_costs
+
+CHAIN_SRC = """\
+void chain(float A[], float B[], float C[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0 + sqrt(i + 1.0);
+    }
+    for (int j = 1; j < n; j++) {
+        B[j] = B[j - 1] * 0.5 + A[j];
+    }
+    for (int k = 1; k < n; k++) {
+        C[k] = C[k - 1] * 0.25 + B[k] + sqrt(B[k] + 1.0);
+    }
+}
+"""
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.lang.parser import parse_program
+    from repro.lang.validate import validate_program
+
+    program = parse_program(CHAIN_SRC)
+    validate_program(program)
+    return analyze(program, "chain", [[np.zeros(N), np.zeros(N), np.zeros(N), N]])
+
+
+def test_pipeline_chain(benchmark, save_artifact, result):
+    def simulate(p: int) -> float:
+        chain = pipeline_chains(result.pipelines)[0]
+        stage_costs = [
+            loop_invocation_costs(result.profile, region)[0] for region in chain
+        ]
+        fits = []
+        by_pair = {(r.loop_x, r.loop_y): r for r in result.pipelines}
+        for x, y in zip(chain, chain[1:]):
+            fit = by_pair[(x, y)]
+            fits.append((fit.a, fit.b))
+        outcome = simulate_pipeline_chain(
+            stage_costs, fits, Machine(threads=p),
+            streaming=result.profile.streaming_fraction,
+        )
+        return compose_speedup(float(result.profile.total_cost), [outcome])
+
+    benchmark(lambda: simulate(8))
+    rows = [[p, simulate(p)] for p in (1, 2, 4, 8, 16)]
+    save_artifact(
+        "pipeline_chain.txt",
+        format_table(
+            ["threads", "speedup"],
+            rows,
+            title="Three-stage multi-loop pipeline chain (Section III-A)",
+        ),
+    )
+
+
+class TestChainClaims:
+    def test_n_minus_one_pairwise_reports(self, result):
+        # three chained loops -> exactly two pairwise relationships
+        assert len(result.pipelines) == 2
+
+    def test_chain_reassembled(self, result):
+        chains = pipeline_chains(result.pipelines)
+        assert len(chains) == 1
+        assert len(chains[0]) == 3
+
+    def test_pairwise_fits_are_one_to_one(self, result):
+        for p in result.pipelines:
+            assert p.a == pytest.approx(1.0, abs=0.02)
+
+    def test_three_stage_schedule_beats_two(self, result):
+        chain = pipeline_chains(result.pipelines)[0]
+        stage_costs = [
+            loop_invocation_costs(result.profile, region)[0] for region in chain
+        ]
+        machine = Machine(threads=4)
+        three = simulate_pipeline_chain(
+            stage_costs, [(1.0, -1.0), (1.0, -1.0)], machine, stage0_parallel=False
+        )
+        two = simulate_pipeline_chain(
+            [stage_costs[0] + stage_costs[1], stage_costs[2]],
+            [(1.0, -1.0)],
+            machine,
+            stage0_parallel=False,
+        )
+        assert three.speedup > two.speedup

@@ -1,0 +1,32 @@
+"""Table I — mapping of algorithm structure patterns to supporting
+structures.  The mapping is a static fact of the library; this bench
+renders it and checks it against the paper's table verbatim."""
+
+from repro.patterns.result import PATTERN_TYPE, SUPPORTING_STRUCTURE
+from repro.reporting.tables import format_table
+
+PAPER_TABLE1 = {
+    "Task parallelism": ("Task", "Master/worker"),
+    "Geometric decomposition": ("Data", "SPMD"),
+    "Reduction": ("Data", "SPMD"),
+    "Multi-loop pipeline": ("Flow of data", "SPMD"),
+}
+
+
+def test_table1(benchmark, save_artifact):
+    def build():
+        rows = [
+            [pattern, PATTERN_TYPE[pattern], SUPPORTING_STRUCTURE[pattern]]
+            for pattern in SUPPORTING_STRUCTURE
+        ]
+        return format_table(
+            ["Algorithm structure", "Type", "Supporting structure"],
+            rows,
+            title="Table I (reproduced)",
+        )
+
+    table = benchmark(build)
+    save_artifact("table1.txt", table)
+    for pattern, (ptype, structure) in PAPER_TABLE1.items():
+        assert PATTERN_TYPE[pattern] == ptype
+        assert SUPPORTING_STRUCTURE[pattern] == structure

@@ -1,0 +1,102 @@
+"""Table V — task-parallelism detection: total vs critical-path
+instructions and the estimated speedup for the six task benchmarks.
+
+Instruction counts come from our cost model, so absolute values differ from
+the paper; what must hold is the ratio structure: every estimate > 1.3 (a
+real opportunity), the non-recursive kernels near the paper's ratios, and
+fib's *single-step* estimate far below its simulated achievable speedup —
+the paper's own caveat about not unrolling recursion.
+"""
+
+import pytest
+
+from repro.bench_programs import analyze_benchmark
+from repro.reporting.tables import format_table
+from repro.sim import plan_and_simulate
+
+PAPER_TABLE5 = {
+    "fib": 3.25,
+    "sort": 2.11,
+    "strassen": 3.5,
+    "3mm": 1.5,
+    "mvt": 1.96,
+    "fdtd-2d": 2.17,
+}
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    out = {}
+    for name in PAPER_TABLE5:
+        result = analyze_benchmark(name)
+        tp = result.best_task_parallelism()
+        if tp is None:  # reduction-labelled programs still have task data
+            tp = max(result.tasks.values(), key=lambda t: t.estimated_speedup)
+        out[name] = tp
+    return out
+
+
+def test_table5(benchmark, save_artifact, tasks):
+    benchmark(lambda: analyze_benchmark("mvt").best_task_parallelism())
+    rows = []
+    for name, tp in tasks.items():
+        rows.append(
+            [
+                name,
+                tp.total_instructions,
+                tp.critical_path_instructions,
+                tp.estimated_speedup,
+                tp.single_step_speedup,
+                PAPER_TABLE5[name],
+            ]
+        )
+    save_artifact(
+        "table5.txt",
+        format_table(
+            [
+                "Application",
+                "Total Instr",
+                "Critical Path",
+                "Est. Speedup",
+                "Single-step",
+                "Paper Est.",
+            ],
+            rows,
+            title="Table V (reproduced; instruction counts from our cost model)",
+        ),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_TABLE5))
+def test_every_estimate_signals_real_parallelism(name, tasks):
+    assert tasks[name].estimated_speedup > 1.3
+
+
+class TestNonRecursiveRatios:
+    """3mm/mvt/fdtd-2d estimates should sit close to the paper's."""
+
+    def test_3mm(self, tasks):
+        assert tasks["3mm"].estimated_speedup == pytest.approx(1.5, abs=0.35)
+
+    def test_mvt(self, tasks):
+        assert tasks["mvt"].estimated_speedup == pytest.approx(1.96, abs=0.4)
+
+    def test_fdtd(self, tasks):
+        assert tasks["fdtd-2d"].estimated_speedup == pytest.approx(2.17, abs=0.8)
+
+
+class TestRecursiveCaveat:
+    """Section IV-B: the one-recursive-step estimate underestimates fib."""
+
+    def test_fib_single_step_underestimates(self, tasks):
+        result = analyze_benchmark("fib")
+        achievable = plan_and_simulate(result).best_speedup
+        assert tasks["fib"].single_step_speedup < achievable / 2
+
+    def test_fib_work_span_exceeds_single_step(self, tasks):
+        tp = tasks["fib"]
+        assert tp.estimated_speedup > tp.single_step_speedup
+
+    def test_critical_path_below_total(self, tasks):
+        for name, tp in tasks.items():
+            assert 0 < tp.critical_path_instructions <= tp.total_instructions, name

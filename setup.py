@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 660
+editable installs fail; ``pip install -e . --no-use-pep517`` (or plain
+``pip install -e .`` on newer pips) falls back to this shim.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

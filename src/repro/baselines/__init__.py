@@ -1,0 +1,32 @@
+"""Static reduction-detection baselines (Table VI comparators).
+
+The paper compares its dynamic reduction detection against Intel ``icc`` and
+the Sambamba framework — both unavailable here, so we implement faithful
+*models* of their static analyses (DESIGN.md §2): each examines only the
+AST, so neither can see the cross-module accumulation of ``sum_module``;
+they differ in how conservative their alias/feature handling is.
+
+* :class:`IccLikeDetector` — lexical-extent pattern matching with a
+  conservative alias rule: any array write in the enclosing function (the
+  accumulation might alias it) or any call in the loop defeats detection.
+* :class:`SambambaLikeDetector` — precise intra-procedural analysis
+  (parameter arrays assumed non-aliasing), but it refuses programs with
+  recursion or loops that call loop-bearing functions (reported ``NA``, as
+  Table VI shows for nqueens and kmeans).
+"""
+
+from repro.baselines.static_reduction import (
+    IccLikeDetector,
+    SambambaLikeDetector,
+    StaticFinding,
+    StaticReductionDetector,
+    find_lexical_reductions,
+)
+
+__all__ = [
+    "IccLikeDetector",
+    "SambambaLikeDetector",
+    "StaticFinding",
+    "StaticReductionDetector",
+    "find_lexical_reductions",
+]

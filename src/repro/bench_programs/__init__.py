@@ -1,0 +1,24 @@
+"""The paper's 17 evaluation benchmarks (plus synthetics), in MiniC.
+
+Each benchmark is structurally faithful to the original kernel the paper
+analyzed — same loop structure, dependence pattern, recursion shape, and
+hotspot layout — rewritten in MiniC and sized for the instrumented
+interpreter (DESIGN.md §2).  The registry records the paper's Table III row
+for each program so the benchmark harness can print paper-vs-measured.
+"""
+
+from repro.bench_programs.registry import (
+    BenchmarkSpec,
+    PaperRow,
+    all_benchmarks,
+    analyze_benchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "PaperRow",
+    "all_benchmarks",
+    "analyze_benchmark",
+    "get_benchmark",
+]

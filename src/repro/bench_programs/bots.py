@@ -1,0 +1,308 @@
+"""BOTS benchmarks (Table III rows: fib, sort, strassen, nqueens).
+
+All four are recursive task-parallel programs; `sort` reproduces the
+cilksort/cilkmerge structure whose CU graph is the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench_programs.registry import BenchmarkSpec, PaperRow, register
+
+# ---------------------------------------------------------------------------
+# fib — Listing 4
+# ---------------------------------------------------------------------------
+
+_FIB_SRC = """\
+int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    int x = fib(n - 1);
+    int y = fib(n - 2);
+    return x + y;
+}
+"""
+
+register(
+    BenchmarkSpec(
+        name="fib",
+        suite="BOTS",
+        source=_FIB_SRC,
+        entry="fib",
+        make_arg_sets=lambda: [[18]],
+        paper=PaperRow(loc=32, hotspot_pct=100.00, speedup=13.25, threads=32,
+                       pattern="Task parallelism"),
+        notes="Two independent recursive calls (workers) joined by the "
+        "return (barrier); the guard is the fork — Listing 4's annotations.",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# sort — cilksort (Figure 3)
+# ---------------------------------------------------------------------------
+
+_SORT_SRC = """\
+void seqsort(float A[], int lo, int n) {
+    for (int i = lo + 1; i < lo + n; i++) {
+        float key = A[i];
+        int j = i - 1;
+        while (j >= lo && A[j] > key) {
+            A[j + 1] = A[j];
+            j = j - 1;
+        }
+        A[j + 1] = key;
+    }
+}
+
+void seqmerge(float src[], float dst[], int lo1, int n1, int lo2, int n2, int dest) {
+    int i = lo1;
+    int j = lo2;
+    int k = dest;
+    while (i < lo1 + n1 && j < lo2 + n2) {
+        if (src[i] <= src[j]) {
+            dst[k] = src[i];
+            i++;
+        } else {
+            dst[k] = src[j];
+            j++;
+        }
+        k++;
+    }
+    while (i < lo1 + n1) {
+        dst[k] = src[i];
+        i++;
+        k++;
+    }
+    while (j < lo2 + n2) {
+        dst[k] = src[j];
+        j++;
+        k++;
+    }
+}
+
+int binsearch(float A[], int lo, int hi, float v) {
+    while (lo < hi) {
+        int mid = (lo + hi) / 2;
+        if (A[mid] < v) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+void cilkmerge(float src[], float dst[], int lo1, int n1, int lo2, int n2, int dest) {
+    if (n1 + n2 <= 8) {
+        seqmerge(src, dst, lo1, n1, lo2, n2, dest);
+        return;
+    }
+    if (n1 < n2) {
+        cilkmerge(src, dst, lo2, n2, lo1, n1, dest);
+        return;
+    }
+    int d1 = n1 / 2;
+    int mid = lo1 + d1;
+    float pivot = src[mid];
+    int pos2 = binsearch(src, lo2, lo2 + n2, pivot);
+    int d2 = pos2 - lo2;
+    dst[dest + d1 + d2] = pivot;
+    cilkmerge(src, dst, lo1, d1, lo2, d2, dest);
+    cilkmerge(src, dst, mid + 1, n1 - d1 - 1, pos2, n2 - d2, dest + d1 + d2 + 1);
+}
+
+void cilksort(float A[], float T[], int lo, int n) {
+    if (n <= 8) {
+        seqsort(A, lo, n);
+        return;
+    }
+    int q = n / 4;
+    cilksort(A, T, lo, q);
+    cilksort(A, T, lo + q, q);
+    cilksort(A, T, lo + 2 * q, q);
+    cilksort(A, T, lo + 3 * q, n - 3 * q);
+    cilkmerge(A, T, lo, q, lo + q, q, lo);
+    cilkmerge(A, T, lo + 2 * q, q, lo + 3 * q, n - 3 * q, lo + 2 * q);
+    cilkmerge(T, A, lo, 2 * q, lo + 2 * q, n - 2 * q, lo);
+}
+"""
+
+
+def _sort_args() -> list[list]:
+    rng = np.random.default_rng(41)
+    n = 128
+    return [[rng.random(n), np.zeros(n), 0, n]]
+
+
+register(
+    BenchmarkSpec(
+        name="sort",
+        suite="BOTS",
+        source=_SORT_SRC,
+        entry="cilksort",
+        make_arg_sets=_sort_args,
+        paper=PaperRow(loc=305, hotspot_pct=94.89, speedup=3.67, threads=32,
+                       pattern="Task parallelism"),
+        notes="Figure 3's CU graph: the quarter computation forks four "
+        "recursive sorts; two merges are barriers that run in parallel; the "
+        "final merge waits on both.",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# strassen — seven independent recursive multiplications
+# ---------------------------------------------------------------------------
+
+_STRASSEN_SRC = """\
+void base_mm(float A[][], float B[][], float C[][], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k++) {
+                acc += A[i][k] * B[k][j];
+            }
+            C[i][j] = acc;
+        }
+    }
+}
+
+void strassen(float A[][], float B[][], float C[][], int n) {
+    if (n <= 4) {
+        base_mm(A, B, C, n);
+        return;
+    }
+    int h = n / 2;
+    float TA1[h][h];
+    float TB1[h][h];
+    float TA2[h][h];
+    float TB3[h][h];
+    float TB4[h][h];
+    float TA5[h][h];
+    float TA6[h][h];
+    float TB6[h][h];
+    float TA7[h][h];
+    float TB7[h][h];
+    float A11[h][h];
+    float A22[h][h];
+    float B11[h][h];
+    float B22[h][h];
+    float M1[h][h];
+    float M2[h][h];
+    float M3[h][h];
+    float M4[h][h];
+    float M5[h][h];
+    float M6[h][h];
+    float M7[h][h];
+    for (int i = 0; i < h; i++) {
+        for (int j = 0; j < h; j++) {
+            A11[i][j] = A[i][j];
+            A22[i][j] = A[i + h][j + h];
+            B11[i][j] = B[i][j];
+            B22[i][j] = B[i + h][j + h];
+            TA1[i][j] = A[i][j] + A[i + h][j + h];
+            TB1[i][j] = B[i][j] + B[i + h][j + h];
+            TA2[i][j] = A[i + h][j] + A[i + h][j + h];
+            TB3[i][j] = B[i][j + h] - B[i + h][j + h];
+            TB4[i][j] = B[i + h][j] - B[i][j];
+            TA5[i][j] = A[i][j] + A[i][j + h];
+            TA6[i][j] = A[i + h][j] - A[i][j];
+            TB6[i][j] = B[i][j] + B[i][j + h];
+            TA7[i][j] = A[i][j + h] - A[i + h][j + h];
+            TB7[i][j] = B[i + h][j] + B[i + h][j + h];
+        }
+    }
+    strassen(TA1, TB1, M1, h);
+    strassen(TA2, B11, M2, h);
+    strassen(A11, TB3, M3, h);
+    strassen(A22, TB4, M4, h);
+    strassen(TA5, B22, M5, h);
+    strassen(TA6, TB6, M6, h);
+    strassen(TA7, TB7, M7, h);
+    for (int i = 0; i < h; i++) {
+        for (int j = 0; j < h; j++) {
+            C[i][j] = M1[i][j] + M4[i][j] - M5[i][j] + M7[i][j];
+            C[i][j + h] = M3[i][j] + M5[i][j];
+            C[i + h][j] = M2[i][j] + M4[i][j];
+            C[i + h][j + h] = M1[i][j] - M2[i][j] + M3[i][j] + M6[i][j];
+        }
+    }
+}
+"""
+
+
+def _strassen_args() -> list[list]:
+    rng = np.random.default_rng(43)
+    n = 16
+    return [[rng.random((n, n)), rng.random((n, n)), np.zeros((n, n)), n]]
+
+
+register(
+    BenchmarkSpec(
+        name="strassen",
+        suite="BOTS",
+        source=_STRASSEN_SRC,
+        entry="strassen",
+        make_arg_sets=_strassen_args,
+        paper=PaperRow(loc=399, hotspot_pct=90.27, speedup=8.93, threads=32,
+                       pattern="Task parallelism"),
+        notes="Seven independent recursive multiplications (workers); the "
+        "combining loop that reads M1..M7 is their barrier.",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# nqueens — reduction over the solution count
+# ---------------------------------------------------------------------------
+
+_NQUEENS_SRC = """\
+int safe_place(int board[], int row, int col) {
+    for (int r = 0; r < row; r++) {
+        if (board[r] == col) {
+            return 0;
+        }
+        if (board[r] - r == col - row) {
+            return 0;
+        }
+        if (board[r] + r == col + row) {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+int nqueens(int board[], int row, int n) {
+    if (row == n) {
+        return 1;
+    }
+    int count = 0;
+    for (int c = 0; c < n; c++) {
+        if (safe_place(board, row, c) == 1) {
+            board[row] = c;
+            count += nqueens(board, row + 1, n);
+        }
+    }
+    return count;
+}
+"""
+
+
+def _nqueens_args() -> list[list]:
+    n = 7
+    return [[np.zeros(n, dtype=np.int64), 0, n]]
+
+
+register(
+    BenchmarkSpec(
+        name="nqueens",
+        suite="BOTS",
+        source=_NQUEENS_SRC,
+        entry="nqueens",
+        make_arg_sets=_nqueens_args,
+        paper=PaperRow(loc=118, hotspot_pct=100.00, speedup=8.38, threads=32,
+                       pattern="Reduction"),
+        notes="count accumulates solutions across the column loop; the "
+        "existing BOTS parallel version uses exactly this reduction.",
+    )
+)

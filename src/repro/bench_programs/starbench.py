@@ -1,0 +1,198 @@
+"""Starbench benchmarks (Table III rows: rot-cc, kmeans, streamcluster)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench_programs.registry import BenchmarkSpec, PaperRow, register
+
+# ---------------------------------------------------------------------------
+# rot-cc — image rotation + color conversion, fused in the Starbench
+# parallel version (Section IV-A)
+# ---------------------------------------------------------------------------
+
+_ROTCC_SRC = """\
+void rot_cc(float src[], float tmp[], float out[], int w, int h) {
+    for (int p = 0; p < w * h; p++) {
+        tmp[p] = src[w * h - 1 - p];
+    }
+    for (int q = 0; q < w * h; q++) {
+        float g = tmp[q] * 0.299 + tmp[q] * 0.587 + tmp[q] * 0.114;
+        float u = (tmp[q] - g) * 0.492;
+        float v = (tmp[q] - g) * 0.877;
+        float lum = sqrt(g * g + u * u + v * v + 1.0);
+        out[q] = lum + g * 0.5 + sqrt(fabs(u * v) + 2.0) * 0.25;
+    }
+}
+"""
+
+
+def _rotcc_args() -> list[list]:
+    rng = np.random.default_rng(47)
+    w, h = 64, 24
+    n = w * h
+    return [[rng.random(n), np.zeros(n), np.zeros(n), w, h]]
+
+
+register(
+    BenchmarkSpec(
+        name="rot-cc",
+        suite="Starbench",
+        source=_ROTCC_SRC,
+        entry="rot_cc",
+        make_arg_sets=_rotcc_args,
+        paper=PaperRow(loc=578, hotspot_pct=94.53, speedup=16.18, threads=32,
+                       pattern="Fusion"),
+        notes="Rotate then color-convert: pixel q of the second loop depends "
+        "exactly on pixel q of the first — the same fusion the Starbench "
+        "parallel version applies.",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# kmeans — geometric decomposition of cluster() + reduction inside
+# ---------------------------------------------------------------------------
+
+_KMEANS_SRC = """\
+void cluster(float pts[][], float centers[][], int member[], int n, int k, int dim) {
+    for (int i = 0; i < n; i++) {
+        float best = 1.0e30;
+        int bi = 0;
+        for (int c = 0; c < k; c++) {
+            float d = 0.0;
+            for (int f = 0; f < dim; f++) {
+                float diff = pts[i][f] - centers[c][f];
+                d += diff * diff;
+            }
+            if (d < best) {
+                best = d;
+                bi = c;
+            }
+        }
+        member[i] = bi;
+    }
+    for (int c = 0; c < k; c++) {
+        for (int f = 0; f < dim; f++) {
+            float acc = 0.0;
+            float cnt = 0.0;
+            for (int i = 0; i < n; i++) {
+                if (member[i] == c) {
+                    acc += pts[i][f];
+                    cnt += 1.0;
+                }
+            }
+            centers[c][f] = (centers[c][f] + acc) / (cnt + 1.0);
+        }
+    }
+}
+
+void kmeans(float pts[][], float centers[][], int member[], int n, int kmax, int dim) {
+    for (int k = 2; k <= kmax; k++) {
+        cluster(pts, centers, member, n, k, dim);
+    }
+}
+"""
+
+
+def _kmeans_args() -> list[list]:
+    rng = np.random.default_rng(53)
+    n, kmax, dim = 48, 8, 4
+    return [
+        [
+            rng.random((n, dim)),
+            rng.random((kmax + 1, dim)),
+            np.zeros(n, dtype=np.int64),
+            n,
+            kmax,
+            dim,
+        ]
+    ]
+
+
+register(
+    BenchmarkSpec(
+        name="kmeans",
+        suite="Starbench",
+        source=_KMEANS_SRC,
+        entry="kmeans",
+        make_arg_sets=_kmeans_args,
+        paper=PaperRow(loc=347, hotspot_pct=2.04, speedup=3.97, threads=8,
+                       pattern="Geometric decomposition + Reduction"),
+        notes="cluster() is invoked once per k by the driver; its immediate "
+        "loops are do-all and the center-update accumulation is a reduction.",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# streamcluster — geometric decomposition of localSearch (Listings 6-7)
+# ---------------------------------------------------------------------------
+
+_STREAMCLUSTER_SRC = """\
+void local_search(float work[][], float ctrs[][], float asgn[], int n, int k) {
+    for (int i = 0; i < n; i++) {
+        float best = 1.0e30;
+        for (int c = 0; c < k; c++) {
+            float d0 = work[i][0] - ctrs[c][0];
+            float d1 = work[i][1] - ctrs[c][1];
+            float d2 = work[i][2] - ctrs[c][2];
+            float d3 = work[i][3] - ctrs[c][3];
+            float d = d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
+            if (d < best) {
+                best = d;
+            }
+        }
+        asgn[i] = sqrt(best);
+    }
+    for (int c = 0; c < k; c++) {
+        for (int f = 0; f < 4; f++) {
+            ctrs[c][f] = ctrs[c][f] * 0.9 + 0.05;
+        }
+    }
+}
+
+void stream_cluster(float pts[][], float ctrs[][], float work[][], float asgn[], int total, int chunk, int k) {
+    int processed = 0;
+    while (processed < total) {
+        for (int i = 0; i < chunk; i++) {
+            work[i][0] = pts[processed + i][0];
+            work[i][1] = pts[processed + i][1];
+            work[i][2] = pts[processed + i][2];
+            work[i][3] = pts[processed + i][3];
+        }
+        local_search(work, ctrs, asgn, chunk, k);
+        processed += chunk;
+    }
+}
+"""
+
+
+def _streamcluster_args() -> list[list]:
+    rng = np.random.default_rng(59)
+    total, chunk, k = 192, 12, 10
+    return [
+        [
+            rng.random((total, 4)),
+            rng.random((k, 4)),
+            np.zeros((chunk, 4)),
+            np.zeros(chunk),
+            total,
+            chunk,
+            k,
+        ]
+    ]
+
+
+register(
+    BenchmarkSpec(
+        name="streamcluster",
+        suite="Starbench",
+        source=_STREAMCLUSTER_SRC,
+        entry="stream_cluster",
+        make_arg_sets=_streamcluster_args,
+        paper=PaperRow(loc=551, hotspot_pct=49.99, speedup=6.38, threads=32,
+                       pattern="Geometric decomposition"),
+        notes="The streaming while-loop is sequential (centers feed the next "
+        "chunk, Listing 6); localSearch is the geometric-decomposition "
+        "candidate, called once per chunk (Listing 7).",
+    )
+)

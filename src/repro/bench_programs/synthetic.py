@@ -1,0 +1,160 @@
+"""Synthetic programs from the paper's text.
+
+* ``sum_local`` / ``sum_module`` — Listings 8 and 9, the Table VI reduction
+  comparison against static tools.
+* ``figure1`` — the CU-construction example of Figure 1.
+* ``figure2`` — a nested control-region example for the PET of Figure 2.
+* coefficient demos — loop pairs engineered to produce each row of
+  Table II (a = 1, a < 1, a > 1; b = 0, b < 0, b > 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+
+SUM_LOCAL_SRC = """\
+int sum_local(int arr[], int size) {
+    int sum = 0;
+    for (int i = 0; i < size; i++) {
+        sum += arr[i];
+    }
+    return sum;
+}
+"""
+
+SUM_MODULE_SRC = """\
+int accumulate(int &sum, int val) {
+    int x = val * val + val / 2 + 3;
+    sum += x;
+    return x;
+}
+
+int consume(int x) {
+    return x % 7;
+}
+
+int sum_module(int arr[], int size) {
+    int sum = 0;
+    for (int i = 0; i < size; i++) {
+        int x = accumulate(sum, arr[i]);
+        int y = consume(x);
+        arr[i] = arr[i] + y - y;
+    }
+    return sum;
+}
+"""
+
+FIGURE1_SRC = """\
+void figure1(float &x, float &y) {
+    x = x + 0.5;
+    y = y + 1.5;
+    float a = x * 2.0;
+    float b = a + 1.0;
+    x = b * 3.0;
+    float c = y + 5.0;
+    float d = c * c;
+    y = d - 1.0;
+}
+"""
+
+FIGURE2_SRC = """\
+float helper(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+
+float figure2(float A[], float B[], int n) {
+    float total = 0.0;
+    for (int t = 0; t < 3; t++) {
+        for (int i = 0; i < n; i++) {
+            B[i] = A[i] * 2.0 + t;
+        }
+        total = total + helper(B, n);
+    }
+    return total;
+}
+"""
+
+#: loop pairs engineered for each Table II coefficient row.
+COEFFICIENT_DEMOS: dict[str, str] = {
+    # a = 1, b = 0 — perfect pipeline
+    "a1_b0": """\
+void demo(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 2.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = A[j] + 1.0;
+    }
+}
+""",
+    # a < 1 — one iteration of y needs 1/a iterations of x
+    "a_lt_1": """\
+void demo(float A[], float B[], int n) {
+    for (int i = 0; i < 4 * n; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = A[4 * j + 3] + 1.0;
+    }
+}
+""",
+    # a > 1 — a iterations of y unlock per iteration of x
+    "a_gt_1": """\
+void demo(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < 4 * n; j++) {
+        B[j] = A[j / 4] + 1.0;
+    }
+}
+""",
+    # b < 0 — no iteration of y depends on the first |b| iterations of x
+    "b_neg": """\
+void demo(float A[], float B[], int n) {
+    for (int i = 0; i < n + 5; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = A[j + 5] + 1.0;
+    }
+}
+""",
+    # b > 0 — the first b iterations of y depend on nothing
+    "b_pos": """\
+void demo(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < n + 5; j++) {
+        if (j >= 5) {
+            B[j] = A[j - 5] + 1.0;
+        }
+        if (j < 5) {
+            B[j] = 0.0;
+        }
+    }
+}
+""",
+}
+
+
+def parsed_program(source: str):
+    program = parse_program(source)
+    validate_program(program)
+    return program
+
+
+def sum_local_args() -> list[list]:
+    return [[np.arange(1, 41, dtype=np.int64), 40]]
+
+
+def sum_module_args() -> list[list]:
+    return [[np.arange(1, 41, dtype=np.int64), 40]]

@@ -1,0 +1,118 @@
+"""Workload generators: structured inputs for the benchmark programs.
+
+Dynamic analysis is input-sensitive (Section II), and the paper mitigates
+this by profiling "different representative inputs whenever possible and
+merging the outputs".  This module provides the input side of that story:
+parameterized generators producing differently-shaped workloads
+(uniform/clustered/sorted/adversarial) for the registry benchmarks, used
+by the input-sensitivity ablation and available to library users who want
+to stress a detection with their own distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+DISTRIBUTIONS = ("uniform", "clustered", "sorted", "reversed", "constant")
+
+
+def vector(
+    n: int, distribution: str = "uniform", seed: int = 0, lo: float = 0.0, hi: float = 1.0
+) -> np.ndarray:
+    """A 1-D float workload with the requested shape."""
+    rng = np.random.default_rng(seed)
+    span = hi - lo
+    if distribution == "uniform":
+        return lo + span * rng.random(n)
+    if distribution == "clustered":
+        centers = lo + span * rng.random(max(1, n // 16))
+        picks = rng.integers(0, len(centers), size=n)
+        return np.clip(centers[picks] + 0.01 * span * rng.standard_normal(n), lo, hi)
+    if distribution == "sorted":
+        return np.sort(lo + span * rng.random(n))
+    if distribution == "reversed":
+        return np.sort(lo + span * rng.random(n))[::-1].copy()
+    if distribution == "constant":
+        return np.full(n, lo + span / 2)
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def matrix(
+    rows: int, cols: int, distribution: str = "uniform", seed: int = 0
+) -> np.ndarray:
+    """A 2-D float workload; rows share the 1-D generator's shapes."""
+    if distribution == "uniform":
+        return np.random.default_rng(seed).random((rows, cols))
+    return np.stack(
+        [vector(cols, distribution, seed + r) for r in range(rows)]
+    )
+
+
+def points(
+    n: int, dim: int, distribution: str = "clustered", seed: int = 0, k: int = 4
+) -> np.ndarray:
+    """Point clouds for the clustering benchmarks.
+
+    ``clustered`` draws from *k* Gaussian blobs — the workload kmeans was
+    built for; ``uniform`` is its adversarial counterpart (no structure to
+    find, all distances comparable).
+    """
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        return rng.random((n, dim))
+    if distribution == "clustered":
+        centers = rng.random((k, dim))
+        assign = rng.integers(0, k, size=n)
+        return np.clip(
+            centers[assign] + 0.05 * rng.standard_normal((n, dim)), 0.0, 1.0
+        )
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+#: benchmark name -> (distribution -> arg-set factory).  Only benchmarks
+#: whose behaviour plausibly depends on input *shape* are parameterized.
+_SORT_N = 128
+
+
+def _sort_args(distribution: str, seed: int = 5) -> list:
+    data = vector(_SORT_N, distribution, seed)
+    return [data, np.zeros(_SORT_N), 0, _SORT_N]
+
+
+def _kmeans_args(distribution: str, seed: int = 6) -> list:
+    n, kmax, dim = 48, 8, 4
+    pts = points(n, dim, distribution, seed)
+    rng = np.random.default_rng(seed + 1)
+    return [pts, rng.random((kmax + 1, dim)), np.zeros(n, dtype=np.int64), n, kmax, dim]
+
+
+def _nqueens_args(_distribution: str, _seed: int = 0) -> list:
+    return [np.zeros(7, dtype=np.int64), 0, 7]
+
+
+def _gesummv_args(distribution: str, seed: int = 8) -> list:
+    n = 44
+    return [
+        1.5,
+        1.2,
+        matrix(n, n, distribution, seed),
+        matrix(n, n, distribution, seed + 1),
+        vector(n, distribution, seed + 2),
+        np.zeros(n),
+        n,
+    ]
+
+
+WORKLOADS: dict[str, Callable[[str], list]] = {
+    "sort": _sort_args,
+    "kmeans": _kmeans_args,
+    "gesummv": _gesummv_args,
+}
+
+
+def arg_sets_for(name: str, distributions: tuple[str, ...]) -> list[list]:
+    """Argument sets for *name*, one per distribution."""
+    factory = WORKLOADS[name]
+    return [factory(d) for d in distributions]

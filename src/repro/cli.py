@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-patterns analyze FILE --entry NAME [--scalar 5] [--zeros A:40,40]
+                                [--rand B:40,40] [--seed 3] [--no-source]
+    repro-patterns bench NAME          # analyze a registered benchmark
+    repro-patterns list                # list registered benchmarks
+    repro-patterns table3              # regenerate the Table III summary
+
+Array arguments are declared positionally in the order the entry function
+expects them: ``--scalar``, ``--zeros`` and ``--rand`` options are consumed
+left to right.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.api import analyze_source
+from repro.reporting.report import analysis_report
+
+
+def _parse_array(spec: str, rng: np.random.Generator, kind: str) -> np.ndarray:
+    name, _, shape_txt = spec.partition(":")
+    if not shape_txt:
+        shape_txt = name
+    shape = tuple(int(s) for s in shape_txt.split(",") if s)
+    if kind == "zeros":
+        return np.zeros(shape)
+    return rng.random(shape)
+
+
+class _OrderedArg(argparse.Action):
+    def __call__(self, parser, namespace, values, option_string=None):
+        items = getattr(namespace, "ordered_args", None)
+        if items is None:
+            items = []
+            namespace.ordered_args = items
+        items.append((self.dest, values))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    call_args = _collect_args(args)
+    result = analyze_source(
+        source,
+        entry=args.entry,
+        arg_sets=[call_args],
+        hotspot_threshold=args.threshold,
+    )
+    print(analysis_report(result, include_source=not args.no_source))
+    return 0
+
+
+def _collect_args(args: argparse.Namespace) -> list:
+    rng = np.random.default_rng(args.seed)
+    call_args = []
+    for kind, value in getattr(args, "ordered_args", []) or []:
+        if kind == "scalar":
+            call_args.append(float(value) if "." in value else int(value))
+        else:
+            call_args.append(_parse_array(value, rng, kind))
+    return call_args
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Phase 1 of the DiscoPoP workflow: instrumented run -> profile file."""
+    from repro.api import compile_source
+    from repro.profiling import profile_runs, save_profile
+
+    source = open(args.file).read()
+    program = compile_source(source)
+    profile = profile_runs(program, args.entry, [_collect_args(args)])
+    with open(args.output, "w") as fh:
+        save_profile(profile, fh)
+    print(
+        f"profile written to {args.output}: {profile.total_cost} instructions, "
+        f"{len(profile.deps)} dependence records"
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    """Phase 2: load a saved profile and run the pattern detectors."""
+    from repro.api import compile_source
+    from repro.patterns.engine import analyze_profile
+    from repro.profiling import load_profile
+
+    source = open(args.file).read()
+    program = compile_source(source)
+    with open(args.profile) as fh:
+        profile = load_profile(fh)
+    result = analyze_profile(program, profile, hotspot_threshold=args.threshold)
+    print(analysis_report(result, include_source=not args.no_source))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench_programs import analyze_benchmark, get_benchmark
+    from repro.sim import plan_and_simulate
+
+    spec = get_benchmark(args.name)
+    result = analyze_benchmark(args.name)
+    print(analysis_report(result, include_source=not args.no_source))
+    outcome = plan_and_simulate(result)
+    print(
+        f"Simulated best speedup: {outcome.best_speedup:.2f}x at "
+        f"{outcome.best_threads} threads "
+        f"(paper: {spec.paper.speedup}x at {spec.paper.threads})"
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.bench_programs import all_benchmarks
+
+    for spec in all_benchmarks():
+        print(f"{spec.name:16s} {spec.suite:10s} {spec.paper.pattern}")
+    return 0
+
+
+def _cmd_table3(_args: argparse.Namespace) -> int:
+    from repro.bench_programs import all_benchmarks, analyze_benchmark
+    from repro.patterns import summarize_patterns
+    from repro.patterns.engine import primary_pattern_share
+    from repro.reporting.tables import format_table
+    from repro.sim import plan_and_simulate
+
+    rows = []
+    for spec in all_benchmarks():
+        result = analyze_benchmark(spec.name)
+        label = summarize_patterns(result)
+        outcome = plan_and_simulate(result)
+        rows.append(
+            [
+                spec.name,
+                spec.suite,
+                spec.loc,
+                100 * primary_pattern_share(result),
+                outcome.best_speedup,
+                outcome.best_threads,
+                label,
+            ]
+        )
+    print(
+        format_table(
+            ["Application", "Suite", "LOC", "Hotspot %", "Speedup", "Threads", "Detected Pattern"],
+            rows,
+            title="Table III (reproduced)",
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.reporting.experiments import generate_experiment_report
+
+    report = generate_experiment_report()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-patterns")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a MiniC source file")
+    p_analyze.add_argument("file")
+    p_analyze.add_argument("--entry", required=True)
+    p_analyze.add_argument("--scalar", action=_OrderedArg, dest="scalar")
+    p_analyze.add_argument("--zeros", action=_OrderedArg, dest="zeros")
+    p_analyze.add_argument("--rand", action=_OrderedArg, dest="rand")
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.add_argument("--threshold", type=float, default=0.10)
+    p_analyze.add_argument("--no-source", action="store_true")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_profile = sub.add_parser(
+        "profile", help="phase 1: instrumented run, write a profile file"
+    )
+    p_profile.add_argument("file")
+    p_profile.add_argument("--entry", required=True)
+    p_profile.add_argument("--output", "-o", required=True)
+    p_profile.add_argument("--scalar", action=_OrderedArg, dest="scalar")
+    p_profile.add_argument("--zeros", action=_OrderedArg, dest="zeros")
+    p_profile.add_argument("--rand", action=_OrderedArg, dest="rand")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_detect = sub.add_parser(
+        "detect", help="phase 2: run pattern detection over a saved profile"
+    )
+    p_detect.add_argument("file")
+    p_detect.add_argument("--profile", required=True)
+    p_detect.add_argument("--threshold", type=float, default=0.10)
+    p_detect.add_argument("--no-source", action="store_true")
+    p_detect.set_defaults(func=_cmd_detect)
+
+    p_bench = sub.add_parser("bench", help="analyze a registered benchmark")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--no-source", action="store_true")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_list = sub.add_parser("list", help="list registered benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_t3 = sub.add_parser("table3", help="regenerate the Table III summary")
+    p_t3.set_defaults(func=_cmd_table3)
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate the full markdown experiment report"
+    )
+    p_exp.add_argument("--output", "-o", default=None)
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Computational Units (CUs) and CU graphs.
+
+CUs follow the *read-compute-write* pattern (Section II, Figure 1): program
+state is read, a new state is computed through local temporaries, and the
+result is written back.  :func:`detect_cus` forms the CUs of a control
+region from the static AST; :func:`build_cu_graph` connects them with the
+dynamic dependences recorded by the profiler, yielding the CU graph that the
+task-parallelism detector (Algorithm 1) consumes.
+"""
+
+from repro.cu.model import CU
+from repro.cu.detect import detect_cus, region_body
+from repro.cu.graph import build_cu_graph, cu_weight
+
+__all__ = ["CU", "detect_cus", "region_body", "build_cu_graph", "cu_weight"]

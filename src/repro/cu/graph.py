@@ -1,0 +1,80 @@
+"""CU graph construction.
+
+Vertices are the CUs of a region; edges are the dynamic data dependences the
+profiler recorded between the region-level *sites* of those CUs (Section II:
+"Data dependences are mapped onto a pair of CUs").  An edge ``A -> B`` means
+*B depends on A* — exactly the direction Algorithm 1's ``N.dependents``
+traverses.
+
+Loop-carried dependences of the region itself are excluded: the CU graph
+describes one activation (one iteration for loop regions); cross-iteration
+constraints are the do-all/pipeline detectors' concern.
+
+Static control-dependence edges are added from early-exit guard CUs to every
+later CU.  This supplies the fork structure for purely control-dependent
+regions like ``fib`` (Listing 4) without perturbing data-forked regions like
+``cilksort`` (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.cu.model import CU
+from repro.graphs.digraph import DiGraph
+from repro.profiling.model import RAW, Profile
+
+
+def build_cu_graph(
+    cus: list[CU],
+    profile: Profile,
+    region: int,
+    include_control: bool = True,
+    dep_kinds: tuple[str, ...] = (RAW,),
+) -> DiGraph:
+    """Build the CU graph of *region* from *profile*'s dependences.
+
+    Nodes are ``cu_id`` ints; edge data holds ``vars`` (the variables whose
+    dependences induced the edge) and ``kind`` (``'data'``/``'control'``).
+    """
+    graph = DiGraph()
+    line_to_cu: dict[int, int] = {}
+    for cu in cus:
+        graph.add_node(cu.cu_id)
+        for line in cu.lines:
+            line_to_cu.setdefault(line, cu.cu_id)
+
+    for dep, _count in profile.deps.items():
+        if dep.region != region or dep.kind not in dep_kinds:
+            continue
+        if dep.carrier == region:
+            continue  # cross-iteration constraint, not an intra-activation edge
+        src_cu = line_to_cu.get(dep.src_site)
+        dst_cu = line_to_cu.get(dep.dst_site)
+        if src_cu is None or dst_cu is None or src_cu == dst_cu:
+            continue
+        if graph.has_edge(src_cu, dst_cu):
+            graph.edge_data(src_cu, dst_cu).setdefault("vars", set()).add(dep.var)
+        else:
+            graph.add_edge(src_cu, dst_cu, kind="data", vars={dep.var})
+
+    if include_control:
+        ordered = sorted(cus, key=lambda c: c.first_line)
+        for i, cu in enumerate(ordered):
+            if not cu.early_exit:
+                continue
+            for later in ordered[i + 1 :]:
+                if not graph.has_edge(cu.cu_id, later.cu_id):
+                    graph.add_edge(cu.cu_id, later.cu_id, kind="control", vars=set())
+    return graph
+
+
+def cu_weight(cu: CU, profile: Profile) -> int:
+    """Dynamic instruction count attributed to *cu* (inclusive of callees).
+
+    The profiler accounts costs per ``(region, site line)``; a CU's weight is
+    the sum over its lines.  Nested work (called functions, inner loops) was
+    folded into the call-site/loop-statement line on activation exit, so the
+    weight is inclusive.
+    """
+    site_costs = profile.site_costs
+    region = cu.region
+    return sum(site_costs.get((region, line), 0) for line in cu.lines)

@@ -1,0 +1,51 @@
+"""CU data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import Stmt
+
+
+@dataclass
+class CU:
+    """One computational unit of a control region.
+
+    ``lines`` covers every source line of the CU's statements (including
+    nested bodies and expressions), which is how dynamic dependences and
+    instruction costs are mapped back onto CUs.  ``kind`` is
+
+    * ``'call'``   — the unit's anchor contains a user-function call,
+    * ``'loop'``   — the unit is a whole loop nest,
+    * ``'return'`` — the unit produces the region's result or exits early,
+    * ``'plain'``  — ordinary read-compute-write on state variables.
+    """
+
+    cu_id: int
+    region: int
+    kind: str
+    stmts: list[Stmt] = field(default_factory=list)
+    lines: set[int] = field(default_factory=set)
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    callees: list[str] = field(default_factory=list)
+    #: True when the CU contains an early ``return`` guarding later CUs.
+    early_exit: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"CU_{self.cu_id}"
+
+    @property
+    def first_line(self) -> int:
+        return min(self.lines) if self.lines else 0
+
+    def describe(self) -> str:
+        lines = ",".join(str(x) for x in sorted(self.lines))
+        return (
+            f"{self.label}[{self.kind}] lines={{{lines}}} "
+            f"reads={sorted(self.reads)} writes={sorted(self.writes)}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CU({self.cu_id}, {self.kind}, lines={sorted(self.lines)})"

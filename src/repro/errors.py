@@ -1,0 +1,50 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch a single base class.  Errors that originate from a MiniC
+source location carry the 1-based ``line`` at which they occurred.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error anchored to a MiniC source location."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(SourceError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class ValidationError(SourceError):
+    """Raised when a parsed program violates MiniC semantic rules."""
+
+
+class InterpreterError(SourceError):
+    """Raised when execution of a MiniC program fails."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """Raised when execution exceeds the configured step budget."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a profiling or pattern analysis cannot be performed."""
+
+
+class SimulationError(ReproError):
+    """Raised when a parallel-schedule simulation is mis-configured."""

@@ -1,0 +1,28 @@
+"""Small directed-graph toolkit.
+
+The CU graphs and task graphs in this library are tiny (tens of nodes), so a
+dependency-free adjacency-set digraph with exactly the operations the
+pattern detectors need (reachability, topological sort, longest path) is
+both faster and easier to audit than a general graph library.  The test
+suite property-checks these routines against ``networkx``.
+"""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.algorithms import (
+    critical_path,
+    has_path,
+    longest_path_length,
+    reachable_from,
+    strongly_connected_components,
+    topological_sort,
+)
+
+__all__ = [
+    "DiGraph",
+    "critical_path",
+    "has_path",
+    "longest_path_length",
+    "reachable_from",
+    "strongly_connected_components",
+    "topological_sort",
+]

@@ -1,0 +1,110 @@
+"""A minimal directed graph with hashable nodes and optional edge data."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+
+class DiGraph:
+    """Directed graph: adjacency sets plus per-edge data dictionaries."""
+
+    def __init__(self) -> None:
+        self._succ: dict[Hashable, dict[Hashable, dict]] = {}
+        self._pred: dict[Hashable, dict[Hashable, dict]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, src: Hashable, dst: Hashable, **data: Any) -> None:
+        """Add edge ``src -> dst``; repeated adds merge the data dicts."""
+        self.add_node(src)
+        self.add_node(dst)
+        existing = self._succ[src].get(dst)
+        if existing is None:
+            payload = dict(data)
+            self._succ[src][dst] = payload
+            self._pred[dst][src] = payload
+        else:
+            existing.update(data)
+
+    def remove_edge(self, src: Hashable, dst: Hashable) -> None:
+        del self._succ[src][dst]
+        del self._pred[dst][src]
+
+    def remove_node(self, node: Hashable) -> None:
+        for dst in list(self._succ[node]):
+            self.remove_edge(node, dst)
+        for src in list(self._pred[node]):
+            self.remove_edge(src, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> list[Hashable]:
+        return list(self._succ)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable, dict]]:
+        for src, targets in self._succ.items():
+            for dst, data in targets.items():
+                yield src, dst, data
+
+    def num_edges(self) -> int:
+        return sum(len(t) for t in self._succ.values())
+
+    def successors(self, node: Hashable) -> list[Hashable]:
+        return list(self._succ[node])
+
+    def predecessors(self, node: Hashable) -> list[Hashable]:
+        return list(self._pred[node])
+
+    def out_degree(self, node: Hashable) -> int:
+        return len(self._succ[node])
+
+    def in_degree(self, node: Hashable) -> int:
+        return len(self._pred[node])
+
+    def has_edge(self, src: Hashable, dst: Hashable) -> bool:
+        return src in self._succ and dst in self._succ[src]
+
+    def edge_data(self, src: Hashable, dst: Hashable) -> dict:
+        return self._succ[src][dst]
+
+    # -- derived graphs ------------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "DiGraph":
+        keep = set(nodes)
+        out = DiGraph()
+        for node in keep:
+            if node in self:
+                out.add_node(node)
+        for src, dst, data in self.edges():
+            if src in keep and dst in keep:
+                out.add_edge(src, dst, **data)
+        return out
+
+    def reversed(self) -> "DiGraph":
+        out = DiGraph()
+        for node in self.nodes():
+            out.add_node(node)
+        for src, dst, data in self.edges():
+            out.add_edge(dst, src, **data)
+        return out
+
+    def copy(self) -> "DiGraph":
+        out = DiGraph()
+        for node in self.nodes():
+            out.add_node(node)
+        for src, dst, data in self.edges():
+            out.add_edge(src, dst, **dict(data))
+        return out

@@ -1,0 +1,67 @@
+"""MiniC: the small C-like language used as the analysis substrate.
+
+The paper analyzes C/C++ programs through LLVM.  This package provides the
+equivalent substrate for a pure-Python reproduction: a lexer, a
+recursive-descent parser producing a typed AST with source line information,
+a source printer, a programmatic builder DSL, and static-analysis helpers.
+
+The public entry point is :func:`parse_program`.
+"""
+
+from repro.lang.ast_nodes import (
+    ArrayLV,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    ExprStmt,
+    FloatLit,
+    For,
+    Function,
+    If,
+    IntLit,
+    Param,
+    Program,
+    Region,
+    Return,
+    UnaryOp,
+    VarDecl,
+    VarLV,
+    VarRef,
+    While,
+)
+from repro.lang.builder import E, FunctionBuilder, ProgramBuilder
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+
+__all__ = [
+    "ArrayLV",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Break",
+    "Call",
+    "Continue",
+    "ExprStmt",
+    "FloatLit",
+    "For",
+    "Function",
+    "If",
+    "IntLit",
+    "Param",
+    "Program",
+    "Region",
+    "Return",
+    "UnaryOp",
+    "VarDecl",
+    "VarLV",
+    "VarRef",
+    "While",
+    "parse_program",
+    "format_program",
+    "ProgramBuilder",
+    "FunctionBuilder",
+    "E",
+]

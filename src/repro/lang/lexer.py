@@ -1,0 +1,131 @@
+"""Hand-written lexer for MiniC.
+
+The lexer turns source text into a list of :class:`~repro.lang.tokens.Token`.
+It supports ``//`` line comments and ``/* */`` block comments, decimal integer
+and floating-point literals (with optional exponent), identifiers, keywords,
+and the operator/punctuation set of MiniC.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPS,
+    PUNCT_CHARS,
+    SINGLE_CHAR_OPS,
+    Token,
+    TokenType,
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC *source*, returning tokens terminated by an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(msg, line=line)
+
+    while i < n:
+        ch = source[i]
+
+        # -- whitespace -------------------------------------------------
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # -- comments ---------------------------------------------------
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            col = 1
+            continue
+
+        start_col = col
+
+        # -- numbers ----------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            if j < n and (source[j].isalpha() or source[j] == "_"):
+                raise error(f"invalid numeric literal {text + source[j]!r}")
+            ttype = TokenType.FLOAT_LIT if is_float else TokenType.INT_LIT
+            tokens.append(Token(ttype, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        # -- identifiers and keywords ------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            ttype = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(ttype, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        # -- multi-char operators ----------------------------------------
+        matched = False
+        for op in MULTI_CHAR_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, line, start_col))
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        # -- single-char operators and punctuation -----------------------
+        if ch in SINGLE_CHAR_OPS:
+            tokens.append(Token(TokenType.OP, ch, line, start_col))
+            i += 1
+            col += 1
+            continue
+        if ch in PUNCT_CHARS:
+            tokens.append(Token(TokenType.PUNCT, ch, line, start_col))
+            i += 1
+            col += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

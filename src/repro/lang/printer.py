@@ -1,0 +1,167 @@
+"""Source printer for MiniC ASTs.
+
+``format_program`` emits compilable MiniC source from an AST.  The printer is
+used by the transformation package to emit annotated parallel versions and by
+tests as a round-trip oracle (parse → print → parse must yield an
+equivalent AST).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    ArrayLV,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    Function,
+    If,
+    IntLit,
+    LValue,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    UnaryOp,
+    VarDecl,
+    VarLV,
+    VarRef,
+    While,
+)
+
+_INDENT = "    "
+
+
+def format_expr(expr: Expr) -> str:
+    """Render *expr* as MiniC source (fully parenthesized binaries)."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        text = repr(float(expr.value))
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return expr.name + "".join(f"[{format_expr(ix)}]" for ix in expr.indices)
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op}({format_expr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, Call):
+        return f"{expr.name}({', '.join(format_expr(a) for a in expr.args)})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def format_lvalue(lv: LValue) -> str:
+    if isinstance(lv, VarLV):
+        return lv.name
+    if isinstance(lv, ArrayLV):
+        return lv.name + "".join(f"[{format_expr(ix)}]" for ix in lv.indices)
+    raise TypeError(f"unknown lvalue node {lv!r}")
+
+
+def _format_decl(decl: VarDecl) -> str:
+    text = f"{decl.type} {decl.name}"
+    text += "".join(f"[{format_expr(d)}]" for d in decl.dims)
+    if decl.init is not None:
+        text += f" = {format_expr(decl.init)}"
+    return text
+
+
+def _format_inline_assign(stmt: Assign | VarDecl | None) -> str:
+    if stmt is None:
+        return ""
+    if isinstance(stmt, VarDecl):
+        return _format_decl(stmt)
+    return f"{format_lvalue(stmt.target)} {stmt.op} {format_expr(stmt.value)}"
+
+
+def format_stmt(stmt: Stmt, indent: int = 0, annotations: dict[int, list[str]] | None = None) -> list[str]:
+    """Render *stmt* as a list of source lines.
+
+    *annotations* maps ``stmt_id`` to pragma-style comment lines emitted
+    immediately before the statement (used by ``repro.transform``).
+    """
+    pad = _INDENT * indent
+    lines: list[str] = []
+    if annotations:
+        for note in annotations.get(stmt.stmt_id, ()):
+            lines.append(f"{pad}// {note}")
+
+    def block(body: list[Stmt]) -> list[str]:
+        inner: list[str] = []
+        for child in body:
+            inner.extend(format_stmt(child, indent + 1, annotations))
+        return inner
+
+    if isinstance(stmt, VarDecl):
+        lines.append(f"{pad}{_format_decl(stmt)};")
+    elif isinstance(stmt, Assign):
+        lines.append(f"{pad}{format_lvalue(stmt.target)} {stmt.op} {format_expr(stmt.value)};")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({format_expr(stmt.cond)}) {{")
+        lines.extend(block(stmt.then_body))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(block(stmt.else_body))
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, For):
+        init = _format_inline_assign(stmt.init)
+        cond = format_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _format_inline_assign(stmt.step)
+        lines.append(f"{pad}for ({init}; {cond}; {step}) {{")
+        lines.extend(block(stmt.body))
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, While):
+        lines.append(f"{pad}while ({format_expr(stmt.cond)}) {{")
+        lines.extend(block(stmt.body))
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, Return):
+        if stmt.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {format_expr(stmt.value)};")
+    elif isinstance(stmt, Break):
+        lines.append(f"{pad}break;")
+    elif isinstance(stmt, Continue):
+        lines.append(f"{pad}continue;")
+    elif isinstance(stmt, ExprStmt):
+        lines.append(f"{pad}{format_expr(stmt.expr)};")
+    else:
+        raise TypeError(f"unknown statement node {stmt!r}")
+    return lines
+
+
+def _format_param(param: Param) -> str:
+    ref = "&" if param.by_ref else ""
+    suffix = "[]" * param.array_rank
+    return f"{param.type} {ref}{param.name}{suffix}"
+
+
+def format_function(func: Function, annotations: dict[int, list[str]] | None = None) -> list[str]:
+    params = ", ".join(_format_param(p) for p in func.params)
+    lines = [f"{func.ret_type} {func.name}({params}) {{"]
+    for stmt in func.body:
+        lines.extend(format_stmt(stmt, 1, annotations))
+    lines.append("}")
+    return lines
+
+
+def format_program(program: Program, annotations: dict[int, list[str]] | None = None) -> str:
+    """Render the whole program as MiniC source text."""
+    lines: list[str] = []
+    for g in program.globals:
+        lines.append(f"{_format_decl(g)};")
+    if program.globals:
+        lines.append("")
+    for i, func in enumerate(program.functions):
+        if i:
+            lines.append("")
+        lines.extend(format_function(func, annotations))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,73 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    KEYWORD = "keyword"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words of MiniC.  ``int``/``float``/``void`` are the only types.
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+)
+
+#: Single-character operators.
+SINGLE_CHAR_OPS = frozenset("+-*/%<>=!&|")
+
+#: Punctuation characters.
+PUNCT_CHARS = frozenset("(){}[];,")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its 1-based source position."""
+
+    type: TokenType
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, L{self.line}:{self.col})"

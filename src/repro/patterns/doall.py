@@ -1,0 +1,127 @@
+"""Loop classification: do-all / reduction / sequential.
+
+A loop is **do-all** when it has no loop-carried dependences after
+
+* excluding its induction variables (and those of nested loops), and
+* excluding WAR/WAW dependences on privatizable variables — variables the
+  profiler proved are always written before read within an iteration *and*
+  that do not escape the enclosing function (locals and by-value
+  parameters).  Escaping memory (globals, array parameters, by-reference
+  parameters) is observable after the loop, so colliding writes from
+  different iterations are real conflicts even when never read inside —
+  the final value depends on iteration order.
+
+A loop is a **reduction** loop when its only remaining carried RAW
+dependences are reduction candidates per Algorithm 3 (and the matching
+WAR/WAW on the reduction variables are excused).
+
+Everything else is **sequential**.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import Program
+from repro.patterns.reduction import detect_reductions
+from repro.patterns.result import LoopClass, LoopClassification
+from repro.profiling.model import RAW, Profile
+
+
+def _induction_vars(program: Program, loop: int) -> set[str]:
+    names: set[str] = set()
+    region = program.regions.get(loop)
+    if region is None or region.node is None:
+        return names
+    names |= set(getattr(region.node, "induction_vars", frozenset()))
+    for other in program.regions.values():
+        if other.kind != "loop" or other.node is None:
+            continue
+        cursor = other
+        while cursor is not None and cursor.parent is not None:
+            if cursor.parent == loop:
+                names |= set(other.node.induction_vars)
+                break
+            cursor = program.regions.get(cursor.parent)
+    return names
+
+
+def _non_escaping_names(program: Program, loop: int) -> set[str]:
+    """Names that cannot be observed outside the loop's function: declared
+    locals and by-value scalar parameters.  Only these may be privatized."""
+    from repro.lang.ast_nodes import VarDecl, walk_stmts
+
+    region = program.regions.get(loop)
+    if region is None or not program.has_function(region.function):
+        return set()
+    func = program.function(region.function)
+    names = {
+        p.name for p in func.params if not p.is_array and not p.by_ref
+    }
+    for stmt in walk_stmts(func.body):
+        if isinstance(stmt, VarDecl):
+            names.add(stmt.name)
+    return names
+
+
+def classify_loop(
+    program: Program,
+    profile: Profile,
+    loop: int,
+    use_privatization: bool = True,
+) -> LoopClass:
+    """Classify one loop region from the profile's carried dependences.
+
+    *use_privatization* exists for ablation: without it, WAR/WAW on
+    written-before-read scalars (every loop-local temporary) block do-all
+    classification, as a naive dependence test would conclude.
+    """
+    induction = _induction_vars(program, loop)
+    if use_privatization:
+        local = _non_escaping_names(program, loop)
+        privatizable = {
+            var
+            for (lp, var) in profile.loop_accessed
+            if lp == loop and (lp, var) not in profile.read_first and var in local
+        }
+    else:
+        privatizable = set()
+
+    blocking: set[str] = set()
+    carried_raw: set[str] = set()
+    for dep in profile.deps:
+        if dep.carrier != loop:
+            continue
+        if dep.var in induction:
+            continue
+        if dep.kind == RAW:
+            carried_raw.add(dep.var)
+            blocking.add(dep.var)
+        else:  # WAR / WAW
+            if dep.var in privatizable:
+                continue
+            blocking.add(dep.var)
+
+    if not blocking:
+        return LoopClass(
+            region=loop,
+            classification=LoopClassification.DOALL,
+            privatizable=privatizable,
+        )
+
+    reductions = detect_reductions(program, profile, loop)
+    reduction_vars = {r.var for r in reductions}
+    non_reduction_blockers = blocking - reduction_vars
+    if carried_raw and carried_raw <= reduction_vars and not non_reduction_blockers:
+        return LoopClass(
+            region=loop,
+            classification=LoopClassification.REDUCTION,
+            blocking_vars=blocking,
+            privatizable=privatizable,
+            reductions=reductions,
+        )
+    return LoopClass(
+        region=loop,
+        classification=LoopClassification.SEQUENTIAL,
+        blocking_vars=blocking,
+        privatizable=privatizable,
+        reductions=reductions,
+    )

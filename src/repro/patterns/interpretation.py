@@ -1,0 +1,59 @@
+"""Human-readable interpretation of pipeline coefficients (Table II)."""
+
+from __future__ import annotations
+
+_TOL = 1e-9
+
+
+def interpret_a(a: float, tol: float = 1e-6) -> str:
+    """Table II's description of coefficient ``a``."""
+    if abs(a - 1.0) <= tol:
+        return "one iteration of loop y depends exactly on one iteration of loop x"
+    if a < 1.0:
+        if a <= 0.0:
+            return "iterations of loop y do not scale with iterations of loop x"
+        per = 1.0 / a
+        return (
+            f"1 iteration of loop y depends on {per:.3g} iterations of loop x"
+        )
+    return (
+        f"{a:.3g} iterations of loop y depend on 1 iteration of loop x, so "
+        f"{a:.3g} iterations of loop y can be executed after 1 iteration of loop x"
+    )
+
+
+def interpret_b(b: float, tol: float = 1e-6) -> str:
+    """Table II's description of coefficient ``b``."""
+    if abs(b) <= tol:
+        return "all iterations of loop y depend on all iterations of loop x"
+    if b < 0.0:
+        return (
+            f"no iteration of loop y depends on the first {abs(b):.3g} "
+            f"iterations of loop x"
+        )
+    return (
+        f"the first {b:.3g} iterations of loop y do not depend on any "
+        f"iteration of loop x"
+    )
+
+
+def interpret_efficiency(e: float) -> str:
+    """Section III-A's reading of the efficiency factor."""
+    if e >= 1.5:
+        return (
+            "both loops can run almost in parallel with minimal "
+            "synchronization between their iterations"
+        )
+    if e >= 0.75:
+        return "an efficient multi-loop pipeline"
+    if e >= 0.25:
+        return "a pipeline with substantial waiting between the stages"
+    return (
+        "an inefficient pipeline: loop y waits for almost all iterations "
+        "of loop x"
+    )
+
+
+def interpret_pipeline(a: float, b: float, e: float) -> str:
+    """One-paragraph summary combining a, b, and e."""
+    return f"{interpret_a(a)}; {interpret_b(b)}; overall {interpret_efficiency(e)}."

@@ -1,0 +1,106 @@
+"""Multi-loop pipeline detection (Section III-A).
+
+The profiler already recorded, for every pair of loops with a cross-loop
+dependence, the ``(i_x, i_y)`` pairs of the *last* write iteration of loop x
+and the *first* read iteration of loop y per memory location.  Here we
+
+1. fit ``Y = aX + b`` over those pairs (Eq. 1),
+2. compute the efficiency factor ``e`` (Eq. 2), and
+3. attach each stage's do-all/reduction classification, since "the loops in
+   each stage of a multi-loop pipeline may be parallelized using other
+   parallel patterns".
+
+Chains of more than two loops are reported pairwise, exactly as the paper's
+tool does; :func:`pipeline_chains` assembles the pairwise reports into
+n-stage chains.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import Program
+from repro.patterns.doall import classify_loop
+from repro.patterns.regression import efficiency_factor, fit_iteration_pairs
+from repro.patterns.result import MultiLoopPipeline
+from repro.profiling.model import Profile
+
+
+def detect_multiloop_pipelines(
+    program: Program,
+    profile: Profile,
+    hotspots: set[int] | None = None,
+    min_pairs: int = 3,
+) -> list[MultiLoopPipeline]:
+    """Detect multi-loop pipelines between sibling loop pairs.
+
+    *hotspots*, when given, restricts attention to pairs where both loops
+    are hotspot regions (the paper gathers "all pairs of hotspot loops").
+    ``min_pairs`` filters out incidental one-off dependences that cannot
+    support a regression.
+    """
+    results: list[MultiLoopPipeline] = []
+    for (loop_x, loop_y), pairs in sorted(profile.pairs.items()):
+        if hotspots is not None and (loop_x not in hotspots or loop_y not in hotspots):
+            continue
+        if len(pairs) < min_pairs:
+            continue
+        # A pipeline flows forward: loop x precedes loop y in serial order.
+        # A "pair" whose writer loop lies lexically *after* the reader loop
+        # is really a carried dependence of an enclosing loop (fdtd-2d's
+        # hz(t-1) -> ey(t)), not a pipeline between the two loops.
+        reg_x = program.regions.get(loop_x)
+        reg_y = program.regions.get(loop_y)
+        if reg_x is not None and reg_y is not None and reg_x.line > reg_y.line:
+            continue
+        fit = fit_iteration_pairs(pairs)
+        trips_x = max(profile.max_trip(loop_x), 1)
+        trips_y = max(profile.max_trip(loop_y), 1)
+        e = efficiency_factor(fit.a, fit.b, trips_x, trips_y)
+        results.append(
+            MultiLoopPipeline(
+                loop_x=loop_x,
+                loop_y=loop_y,
+                a=fit.a,
+                b=fit.b,
+                efficiency=e,
+                n_pairs=fit.n,
+                trips_x=trips_x,
+                trips_y=trips_y,
+                stage_x=classify_loop(program, profile, loop_x),
+                stage_y=classify_loop(program, profile, loop_y),
+            )
+        )
+    results.sort(key=lambda r: (r.loop_x, r.loop_y))
+    return results
+
+
+def pipeline_chains(results: list[MultiLoopPipeline]) -> list[list[int]]:
+    """Assemble pairwise pipeline reports into maximal loop chains.
+
+    A chain of n dependent loops yields n-1 pairwise reports (Section
+    III-A); this helper recovers ``[x, y, z, ...]`` stage sequences for an
+    n-stage pipeline implementation.
+    """
+    successor: dict[int, list[int]] = {}
+    has_pred: set[int] = set()
+    nodes: set[int] = set()
+    for r in results:
+        successor.setdefault(r.loop_x, []).append(r.loop_y)
+        has_pred.add(r.loop_y)
+        nodes.add(r.loop_x)
+        nodes.add(r.loop_y)
+    chains: list[list[int]] = []
+    heads = sorted(n for n in nodes if n not in has_pred)
+    for head in heads:
+        chain = [head]
+        seen = {head}
+        cursor = head
+        while cursor in successor:
+            nxt = sorted(successor[cursor])[0]
+            if nxt in seen:
+                break
+            chain.append(nxt)
+            seen.add(nxt)
+            cursor = nxt
+        if len(chain) >= 2:
+            chains.append(chain)
+    return chains

@@ -1,0 +1,362 @@
+"""The streaming profiler sink.
+
+One pass over the interpreter's event stream produces everything the pattern
+detectors need.  The design mirrors DiscoPoP's split into a dependence
+profiler and a region/PET profiler (Section II), but runs both in a single
+shadow-memory sweep:
+
+* **Context tracking** — a stack of activations (function calls and loop
+  entries), each with its static region id, current iteration number, and
+  the source line of the statement currently executing at that level (its
+  *site*).  Sites are what summarize nested work to call sites when
+  dependences are lifted to a region's CU graph.
+* **Shadow memory** — last writer and last reader per address.  Each access
+  is compared against the shadow entry to emit RAW/WAR/WAW dependences,
+  attributed to the deepest common activation and classified as carried or
+  independent there.
+* **Privatization** — per loop iteration, the first access to each address
+  is tracked; a ``(loop, var)`` that is ever read before written in an
+  iteration is marked ``read_first`` (not privatizable).
+* **Multi-loop pairs** — a RAW dependence whose endpoints sit in *different
+  sibling loops* contributes an ``(i_x, i_y)`` iteration pair: the last
+  write iteration of loop *x* and the first read iteration of loop *y* for
+  that address (Section III-A's post-analysis, done online).
+* **PET** — activations are folded into a Program Execution Tree: loop
+  iterations merge, recursive calls merge into their ancestor node.
+* **Call tree** — the full dynamic activation tree with inclusive costs and
+  per-iteration loop costs, used for work/span speedup estimation and the
+  pipeline schedule simulator.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.model import RAW, WAR, WAW, CallNode, DepKey, PETNode, Profile
+from repro.runtime.events import Sink
+
+_NO_ITER = -1
+
+
+class Profiler(Sink):
+    """Sink that builds a :class:`Profile` from one interpreted run."""
+
+    def __init__(
+        self,
+        record_calltree: bool = True,
+        max_calltree_nodes: int = 500_000,
+    ) -> None:
+        self.profile = Profile()
+        # context stacks (parallel lists)
+        self._ids: list[int] = []
+        self._statics: list[int] = []
+        self._kinds: list[str] = []
+        self._iters: list[int] = []
+        self._sites: list[int] = []
+        self._act_info: dict[int, tuple[int, str]] = {}
+        # privatization: per-level set of addresses touched this iteration
+        self._seen: list[set[int] | None] = []
+        # shadow memory: addr -> (ids, iters, sites, line, var)
+        self._last_write: dict[int, tuple] = {}
+        self._last_read: dict[int, tuple] = {}
+        # pair first-read bookkeeping: (reader_act, writer_loop, addr)
+        self._pair_seen: set[tuple[int, int, int]] = set()
+        # PET
+        self._pet_counter = 0
+        self._pet_stack: list[PETNode] = []
+        # cost accounting
+        self._act_costs: list[int] = []
+        self._pre_cost = 0
+        # call tree
+        self._record_ct = record_calltree
+        self._max_ct = max_calltree_nodes
+        self._ct_nodes = 0
+        self._ct_stack: list[CallNode | None] = []
+        self._iter_marks: list[int] = []
+        # loop trip accumulation: static loop -> [invocations, total, max]
+        self._trips: dict[int, list[int]] = {}
+        # working-set tracking (array traffic only — scalars stay in cache)
+        self._array_addrs: set[int] = set()
+        # cached immutable snapshots of the context stacks (hot path:
+        # rebuilding them per mutation beats tuple() per memory event)
+        self._ids_t: tuple[int, ...] = ()
+        self._iters_t: tuple[int, ...] = ()
+        self._sites_t: tuple[int, ...] = ()
+        # indices of the loop levels within the stacks (skips function
+        # levels in the per-event _touch sweep)
+        self._loop_idx: list[int] = []
+
+    # ------------------------------------------------------------------
+    # region transitions
+    # ------------------------------------------------------------------
+
+    def _enter(self, region: int, act: int, kind: str, site_line: int, line: int) -> None:
+        parent_site = self._sites[-1] if self._sites else site_line
+        self._ids.append(act)
+        self._statics.append(region)
+        self._kinds.append(kind)
+        self._iters.append(_NO_ITER)
+        self._sites.append(line)
+        self._act_info[act] = (region, kind)
+        self._seen.append(set() if kind == "loop" else None)
+        if kind == "loop":
+            self._loop_idx.append(len(self._kinds) - 1)
+        self._ids_t = tuple(self._ids)
+        self._iters_t = tuple(self._iters)
+        self._sites_t = tuple(self._sites)
+        self._act_costs.append(0)
+        self._iter_marks.append(0)
+        self._enter_pet(region, kind, line)
+        # call tree
+        node: CallNode | None = None
+        if self._record_ct and self._ct_nodes < self._max_ct:
+            node = CallNode(
+                act_id=act,
+                region=region,
+                kind=kind,
+                site_line=parent_site,
+                parent=self._ct_stack[-1] if self._ct_stack else None,
+            )
+            self._ct_nodes += 1
+            if node.parent is not None:
+                node.parent.children.append(node)
+            elif self.profile.calltree is None:
+                self.profile.calltree = node
+        self._ct_stack.append(node)
+
+    def _enter_pet(self, region: int, kind: str, line: int) -> None:
+        name = f"{kind}@{line}"
+        if kind == "function":
+            # recursion merging: reuse an ancestor node for the same region
+            for node in reversed(self._pet_stack):
+                if node.region == region and node.kind == "function":
+                    node.recursive = True
+                    node.invocations += 1
+                    self._pet_stack.append(node)
+                    return
+        parent = self._pet_stack[-1] if self._pet_stack else None
+        node = parent.child_for(region) if parent is not None else None
+        if node is None or node.kind != kind:
+            node = PETNode(
+                node_id=self._pet_counter,
+                region=region,
+                kind=kind,
+                name=name,
+                line=line,
+                parent=parent,
+            )
+            self._pet_counter += 1
+            if parent is not None:
+                parent.children.append(node)
+            elif self.profile.pet is None:
+                self.profile.pet = node
+        node.invocations += 1
+        self._pet_stack.append(node)
+
+    def _exit(self, trip_count: int | None = None) -> None:
+        inclusive = self._act_costs.pop()
+        static = self._statics.pop()
+        self._ids.pop()
+        kind = self._kinds.pop()
+        self._iters.pop()
+        self._sites.pop()
+        self._seen.pop()
+        if kind == "loop":
+            self._loop_idx.pop()
+        self._ids_t = tuple(self._ids)
+        self._iters_t = tuple(self._iters)
+        self._sites_t = tuple(self._sites)
+        self._iter_marks.pop()
+        pet_node = self._pet_stack.pop()
+        ct_node = self._ct_stack.pop()
+        if ct_node is not None:
+            ct_node.inclusive_cost = inclusive
+            if kind == "loop" and ct_node.per_iter_cost:
+                # fold the final condition-test sliver into the last iteration
+                residue = inclusive - sum(ct_node.per_iter_cost)
+                if residue > 0:
+                    ct_node.per_iter_cost[-1] += residue
+        if kind == "loop" and trip_count is not None:
+            pet_node.total_trips += trip_count
+            acc = self._trips.setdefault(static, [0, 0, 0])
+            acc[0] += 1
+            acc[1] += trip_count
+            acc[2] = max(acc[2], trip_count)
+        if self._act_costs:
+            self._act_costs[-1] += inclusive
+            key = (self._statics[-1], self._sites[-1])
+            self.profile.site_costs[key] = self.profile.site_costs.get(key, 0) + inclusive
+
+    # -- Sink interface -------------------------------------------------
+
+    def enter_function(self, region_id: int, activation_id: int, call_line: int) -> None:
+        self._enter(region_id, activation_id, "function", call_line, call_line)
+
+    def exit_function(self, region_id: int, activation_id: int) -> None:
+        self._exit()
+
+    def enter_loop(self, region_id: int, activation_id: int, line: int) -> None:
+        self._enter(region_id, activation_id, "loop", line, line)
+
+    def exit_loop(self, region_id: int, activation_id: int, trip_count: int) -> None:
+        self._exit(trip_count)
+
+    def loop_iteration(self, region_id: int, index: int) -> None:
+        self._iters[-1] = index
+        self._iters_t = self._iters_t[:-1] + (index,)
+        self._seen[-1] = set()
+        node = self._ct_stack[-1]
+        if node is not None and index > 0:
+            acc = self._act_costs[-1]
+            node.per_iter_cost.append(acc - self._iter_marks[-1])
+            self._iter_marks[-1] = acc
+
+    def on_stmt(self, line: int) -> None:
+        sites = self._sites
+        if sites and sites[-1] != line:
+            sites[-1] = line
+            self._sites_t = self._sites_t[:-1] + (line,)
+
+    def on_cost(self, line: int, amount: int) -> None:
+        p = self.profile
+        p.total_cost += amount
+        p.line_costs[line] = p.line_costs.get(line, 0) + amount
+        if not self._act_costs:
+            self._pre_cost += amount
+            return
+        self._act_costs[-1] += amount
+        self._pet_stack[-1].exclusive_cost += amount
+        node = self._ct_stack[-1]
+        if node is not None:
+            node.exclusive_cost += amount
+        key = (self._statics[-1], line)
+        p.site_costs[key] = p.site_costs.get(key, 0) + amount
+
+    # ------------------------------------------------------------------
+    # memory accesses
+    # ------------------------------------------------------------------
+
+    def _touch(self, addr: int, var: str, line: int, is_write: bool) -> None:
+        statics = self._statics
+        seen = self._seen
+        profile = self.profile
+        for i in self._loop_idx:
+            key = (statics[i], var)
+            profile.loop_accessed.add(key)
+            if is_write:
+                lines = profile.loop_var_writes.get(key)
+                if lines is None:
+                    profile.loop_var_writes[key] = {line}
+                else:
+                    lines.add(line)
+            else:
+                lines = profile.loop_var_reads.get(key)
+                if lines is None:
+                    profile.loop_var_reads[key] = {line}
+                else:
+                    lines.add(line)
+            level_seen = seen[i]
+            if addr not in level_seen:
+                level_seen.add(addr)
+                if not is_write:
+                    profile.read_first.add(key)
+
+    def _record_dep(
+        self,
+        kind: str,
+        prev: tuple,
+        cur_ids: tuple,
+        cur_iters: tuple,
+        cur_sites: tuple,
+        line: int,
+        var: str,
+    ) -> None:
+        p_ids, p_iters, p_sites, p_line, p_var = prev
+        limit = min(len(p_ids), len(cur_ids))
+        d = 0
+        while d < limit and p_ids[d] == cur_ids[d]:
+            d += 1
+        if d == 0:
+            return
+        m = d - 1
+        region, region_kind = self._act_info[p_ids[m]]
+        carrier: int | None = None
+        if (
+            region_kind == "loop"
+            and p_iters[m] != cur_iters[m]
+            and p_iters[m] != _NO_ITER
+            and cur_iters[m] != _NO_ITER
+        ):
+            carrier = region
+        key = DepKey(
+            kind, p_var, region, carrier, p_line, line, p_sites[m], cur_sites[m]
+        )
+        deps = self.profile.deps
+        deps[key] = deps.get(key, 0) + 1
+
+    def _record_pair(
+        self,
+        addr: int,
+        prev: tuple,
+        cur_ids: tuple,
+        cur_iters: tuple,
+    ) -> None:
+        p_ids, p_iters, _p_sites, _p_line, _p_var = prev
+        limit = min(len(p_ids), len(cur_ids))
+        d = 0
+        while d < limit and p_ids[d] == cur_ids[d]:
+            d += 1
+        if d == 0 or d >= len(p_ids) or d >= len(cur_ids):
+            return
+        w_act = p_ids[d]
+        r_act = cur_ids[d]
+        w_static, w_kind = self._act_info[w_act]
+        r_static, r_kind = self._act_info[r_act]
+        if w_kind != "loop" or r_kind != "loop" or w_static == r_static:
+            return
+        ix = p_iters[d]
+        iy = cur_iters[d]
+        if ix == _NO_ITER or iy == _NO_ITER:
+            return
+        seen_key = (r_act, w_static, addr)
+        if seen_key in self._pair_seen:
+            return
+        self._pair_seen.add(seen_key)
+        self.profile.pairs.setdefault((w_static, r_static), []).append((ix, iy))
+
+    def on_read(self, addr: int, var: str, line: int, element: bool = False) -> None:
+        if element:
+            self._array_addrs.add(addr)
+            self.profile.array_accesses += 1
+        ids = self._ids_t
+        iters = self._iters_t
+        sites = self._sites_t
+        prev_write = self._last_write.get(addr)
+        if prev_write is not None:
+            self._record_dep(RAW, prev_write, ids, iters, sites, line, var)
+            self._record_pair(addr, prev_write, ids, iters)
+        self._last_read[addr] = (ids, iters, sites, line, var)
+        self._touch(addr, var, line, is_write=False)
+
+    def on_write(self, addr: int, var: str, line: int, element: bool = False) -> None:
+        if element:
+            self._array_addrs.add(addr)
+            self.profile.array_accesses += 1
+        ids = self._ids_t
+        iters = self._iters_t
+        sites = self._sites_t
+        prev_write = self._last_write.get(addr)
+        if prev_write is not None:
+            self._record_dep(WAW, prev_write, ids, iters, sites, line, var)
+        prev_read = self._last_read.get(addr)
+        if prev_read is not None:
+            self._record_dep(WAR, prev_read, ids, iters, sites, line, var)
+        self._last_write[addr] = (ids, iters, sites, line, var)
+        self._touch(addr, var, line, is_write=True)
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> None:
+        profile = self.profile
+        profile.loop_trips = {k: tuple(v) for k, v in self._trips.items()}
+        profile.unique_array_addresses = len(self._array_addrs)
+        if profile.pet is not None:
+            profile.pet.compute_inclusive()

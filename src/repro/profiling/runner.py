@@ -1,0 +1,49 @@
+"""Convenience entry points: run a program under the profiler.
+
+``profile_run`` executes one entry call and returns ``(Profile, RunResult)``;
+``profile_runs`` executes several argument sets (the paper's "multiple
+representative inputs") and merges the profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.lang.ast_nodes import Program
+from repro.profiling.model import Profile
+from repro.profiling.profiler import Profiler
+from repro.runtime.interpreter import Interpreter, RunResult
+
+
+def profile_run(
+    program: Program,
+    entry: str,
+    args: Sequence[Any] = (),
+    record_calltree: bool = True,
+    max_cost: int = 500_000_000,
+) -> tuple[Profile, RunResult]:
+    """Execute ``entry(*args)`` under instrumentation; return the profile."""
+    profiler = Profiler(record_calltree=record_calltree)
+    interp = Interpreter(program, sink=profiler, max_cost=max_cost)
+    result = interp.run(entry, args)
+    return profiler.profile, result
+
+
+def profile_runs(
+    program: Program,
+    entry: str,
+    arg_sets: Sequence[Sequence[Any]],
+    record_calltree: bool = True,
+    max_cost: int = 500_000_000,
+) -> Profile:
+    """Profile several runs with different inputs and merge the profiles."""
+    if not arg_sets:
+        raise ValueError("need at least one argument set")
+    merged: Profile | None = None
+    for args in arg_sets:
+        profile, _ = profile_run(
+            program, entry, args, record_calltree=record_calltree, max_cost=max_cost
+        )
+        merged = profile if merged is None else merged.merge(profile)
+    assert merged is not None
+    return merged

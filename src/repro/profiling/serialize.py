@@ -1,0 +1,195 @@
+"""Profile serialization.
+
+DiscoPoP's instrumented runs dump their output to files consumed by later
+analysis phases; this module provides the same workflow: a
+:class:`Profile` round-trips through a JSON-compatible dict, so profiling
+(expensive) can be decoupled from detection (cheap) and profiles can be
+archived next to the inputs that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO
+
+from repro.profiling.model import CallNode, DepKey, PETNode, Profile
+
+_FORMAT_VERSION = 1
+
+
+def profile_to_dict(profile: Profile) -> dict[str, Any]:
+    """Convert *profile* to a JSON-compatible dict."""
+    return {
+        "version": _FORMAT_VERSION,
+        "total_cost": profile.total_cost,
+        "runs": profile.runs,
+        "unique_array_addresses": profile.unique_array_addresses,
+        "array_accesses": profile.array_accesses,
+        "deps": [[list(key), count] for key, count in profile.deps.items()],
+        "loop_var_writes": [
+            [loop, var, sorted(lines)]
+            for (loop, var), lines in profile.loop_var_writes.items()
+        ],
+        "loop_var_reads": [
+            [loop, var, sorted(lines)]
+            for (loop, var), lines in profile.loop_var_reads.items()
+        ],
+        "read_first": sorted(list(t) for t in profile.read_first),
+        "loop_accessed": sorted(list(t) for t in profile.loop_accessed),
+        "pairs": [
+            [list(key), [list(p) for p in pairs]]
+            for key, pairs in profile.pairs.items()
+        ],
+        "line_costs": sorted(profile.line_costs.items()),
+        "site_costs": [[list(k), v] for k, v in profile.site_costs.items()],
+        "loop_trips": [[loop, list(v)] for loop, v in profile.loop_trips.items()],
+        "pet": _pet_to_dict(profile.pet),
+        "calltree": _calltree_to_dict(profile.calltree),
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> Profile:
+    """Rebuild a :class:`Profile` from :func:`profile_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported profile format version {version!r}")
+    profile = Profile(
+        total_cost=data["total_cost"],
+        runs=data["runs"],
+        unique_array_addresses=data.get("unique_array_addresses", 0),
+        array_accesses=data.get("array_accesses", 0),
+    )
+    for key, count in data["deps"]:
+        kind, var, region, carrier, src_line, dst_line, src_site, dst_site = key
+        profile.deps[
+            DepKey(kind, var, region, carrier, src_line, dst_line, src_site, dst_site)
+        ] = count
+    for loop, var, lines in data["loop_var_writes"]:
+        profile.loop_var_writes[(loop, var)] = set(lines)
+    for loop, var, lines in data["loop_var_reads"]:
+        profile.loop_var_reads[(loop, var)] = set(lines)
+    profile.read_first = {(loop, var) for loop, var in data["read_first"]}
+    profile.loop_accessed = {(loop, var) for loop, var in data["loop_accessed"]}
+    for key, pairs in data["pairs"]:
+        profile.pairs[tuple(key)] = [tuple(p) for p in pairs]
+    profile.line_costs = {line: cost for line, cost in data["line_costs"]}
+    profile.site_costs = {tuple(k): v for k, v in data["site_costs"]}
+    profile.loop_trips = {loop: tuple(v) for loop, v in data["loop_trips"]}
+    profile.pet = _pet_from_dict(data["pet"])
+    if profile.pet is not None:
+        profile.pet.compute_inclusive()
+    profile.calltree = _calltree_from_dict(data["calltree"])
+    return profile
+
+
+def save_profile(profile: Profile, fh: IO[str]) -> None:
+    """Write *profile* as JSON to an open text file."""
+    json.dump(profile_to_dict(profile), fh)
+
+
+def load_profile(fh: IO[str]) -> Profile:
+    """Read a profile written by :func:`save_profile`."""
+    return profile_from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# trees (flattened to index-linked node lists)
+# ---------------------------------------------------------------------------
+
+
+def _pet_to_dict(root: PETNode | None) -> dict | None:
+    if root is None:
+        return None
+    nodes: list[dict] = []
+    index: dict[int, int] = {}
+    for node in root.walk():
+        if node.node_id in index:
+            continue  # recursion-merged nodes appear once
+        index[node.node_id] = len(nodes)
+        nodes.append(
+            {
+                "region": node.region,
+                "kind": node.kind,
+                "name": node.name,
+                "line": node.line,
+                "exclusive_cost": node.exclusive_cost,
+                "invocations": node.invocations,
+                "total_trips": node.total_trips,
+                "recursive": node.recursive,
+                "children": [],
+            }
+        )
+    for node in root.walk():
+        me = index[node.node_id]
+        kids = [index[c.node_id] for c in node.children]
+        if not nodes[me]["children"]:
+            nodes[me]["children"] = kids
+    return {"nodes": nodes, "root": index[root.node_id]}
+
+
+def _pet_from_dict(data: dict | None) -> PETNode | None:
+    if data is None:
+        return None
+    nodes = [
+        PETNode(
+            node_id=i,
+            region=d["region"],
+            kind=d["kind"],
+            name=d["name"],
+            line=d["line"],
+            exclusive_cost=d["exclusive_cost"],
+            invocations=d["invocations"],
+            total_trips=d["total_trips"],
+            recursive=d["recursive"],
+        )
+        for i, d in enumerate(data["nodes"])
+    ]
+    for i, d in enumerate(data["nodes"]):
+        for child in d["children"]:
+            nodes[i].children.append(nodes[child])
+            nodes[child].parent = nodes[i]
+    return nodes[data["root"]]
+
+
+def _calltree_to_dict(root: CallNode | None) -> dict | None:
+    if root is None:
+        return None
+    nodes: list[dict] = []
+    order: list[CallNode] = list(root.walk())
+    index = {id(node): i for i, node in enumerate(order)}
+    for node in order:
+        nodes.append(
+            {
+                "act_id": node.act_id,
+                "region": node.region,
+                "kind": node.kind,
+                "site_line": node.site_line,
+                "inclusive_cost": node.inclusive_cost,
+                "exclusive_cost": node.exclusive_cost,
+                "per_iter_cost": list(node.per_iter_cost),
+                "children": [index[id(c)] for c in node.children],
+            }
+        )
+    return {"nodes": nodes, "root": 0}
+
+
+def _calltree_from_dict(data: dict | None) -> CallNode | None:
+    if data is None:
+        return None
+    nodes = [
+        CallNode(
+            act_id=d["act_id"],
+            region=d["region"],
+            kind=d["kind"],
+            site_line=d["site_line"],
+            inclusive_cost=d["inclusive_cost"],
+            exclusive_cost=d["exclusive_cost"],
+            per_iter_cost=list(d["per_iter_cost"]),
+        )
+        for d in data["nodes"]
+    ]
+    for i, d in enumerate(data["nodes"]):
+        for child in d["children"]:
+            nodes[i].children.append(nodes[child])
+            nodes[child].parent = nodes[i]
+    return nodes[data["root"]]

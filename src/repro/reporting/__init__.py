@@ -1,0 +1,7 @@
+"""Human-readable output: ASCII tables, DOT graphs, analysis reports."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.dot import cu_graph_dot, pet_dot
+from repro.reporting.report import analysis_report
+
+__all__ = ["format_table", "cu_graph_dot", "pet_dot", "analysis_report"]

@@ -1,0 +1,64 @@
+"""DOT (Graphviz) emission for CU graphs and PETs.
+
+The paper's Figures 2 and 3 are drawings of exactly these structures; the
+benchmark harness regenerates them as ``.dot`` text so they can be rendered
+with any Graphviz installation.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.result import TaskParallelism
+from repro.profiling.model import PETNode
+
+_MARK_COLORS = {"fork": "#8ecae6", "worker": "#a7c957", "barrier": "#f4a261"}
+
+
+def _esc(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def cu_graph_dot(task: TaskParallelism, title: str = "CU graph") -> str:
+    """Render a classified CU graph (Figure 3 style) as DOT text."""
+    lines = [f'digraph "{_esc(title)}" {{', "  rankdir=TB;", "  node [shape=box];"]
+    for cu in task.cus:
+        mark = task.marks.get(cu.cu_id, "?")
+        color = _MARK_COLORS.get(mark, "#dddddd")
+        label = f"{cu.label}\\n{mark}\\nlines {min(cu.lines)}-{max(cu.lines)}"
+        lines.append(
+            f'  cu{cu.cu_id} [label="{label}", style=filled, fillcolor="{color}"];'
+        )
+    for src, dst, data in task.graph.edges():
+        style = "dashed" if data.get("kind") == "control" else "solid"
+        vars_txt = ",".join(sorted(data.get("vars") or []))
+        lines.append(
+            f'  cu{src} -> cu{dst} [style={style}, label="{_esc(vars_txt)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def pet_dot(root: PETNode, title: str = "PET") -> str:
+    """Render a Program Execution Tree (Figure 2 style) as DOT text."""
+    lines = [f'digraph "{_esc(title)}" {{', "  node [shape=ellipse];"]
+    seen: set[int] = set()
+
+    def visit(node: PETNode) -> None:
+        if node.node_id in seen:
+            return
+        seen.add(node.node_id)
+        extra = " (recursive)" if node.recursive else ""
+        label = (
+            f"{node.name}{extra}\\ninstr={node.inclusive_cost}"
+            f"\\ncalls={node.invocations}"
+        )
+        if node.kind == "loop":
+            label += f"\\ntrips={node.total_trips}"
+        shape = "box" if node.kind == "loop" else "ellipse"
+        lines.append(f'  n{node.node_id} [label="{label}", shape={shape}];')
+        for child in node.children:
+            visit(child)
+            lines.append(f"  n{node.node_id} -> n{child.node_id};")
+
+    visit(root)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

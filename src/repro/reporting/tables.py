@@ -1,0 +1,63 @@
+"""Minimal ASCII table renderer used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* with column-wise alignment.
+
+    Numbers are right-aligned, everything else left-aligned.  Returns a
+    string ending in a newline.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in cells:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    numeric = [
+        all(_is_number(row[i]) for row in rows) if rows else False
+        for i in range(ncols)
+    ]
+
+    def line(items: Sequence[str], pad_numeric: bool) -> str:
+        out = []
+        for i, item in enumerate(items):
+            if pad_numeric and numeric[i]:
+                out.append(item.rjust(widths[i]))
+            else:
+                out.append(item.ljust(widths[i]))
+        return "| " + " | ".join(out) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(sep)
+    parts.append(line(list(headers), pad_numeric=False))
+    parts.append(sep)
+    for row in cells:
+        parts.append(line(row, pad_numeric=True))
+    parts.append(sep)
+    return "\n".join(parts) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

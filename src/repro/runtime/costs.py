@@ -1,0 +1,28 @@
+"""LLVM-IR-like instruction cost model.
+
+The paper counts LLVM IR instructions per region (for hotspot ranking, PET
+node weights, and the task-parallelism estimated-speedup metric).  Our
+interpreter charges these approximate per-operation costs instead; only the
+*relative* weights matter for the reproduced metrics.
+"""
+
+from __future__ import annotations
+
+#: Scalar/array load.
+LOAD = 1
+#: Scalar/array store.
+STORE = 1
+#: Arithmetic or logical binary operation.
+ARITH = 1
+#: Comparison.
+COMPARE = 1
+#: Unary operation.
+UNARY = 1
+#: Conditional/unconditional branch (if, loop back-edge, loop exit test).
+BRANCH = 1
+#: Address computation per index dimension (GEP-like).
+INDEX = 1
+#: Call/return overhead of a user function (prologue + epilogue).
+CALL = 2
+#: Return instruction.
+RETURN = 1

@@ -1,0 +1,102 @@
+"""Sink protocol: how the interpreter reports dynamic events.
+
+The interpreter pushes events; sinks pull no state.  A sink receives:
+
+* ``enter_function(region_id, activation_id, call_line)`` /
+  ``exit_function(region_id, activation_id)``
+* ``enter_loop(region_id, activation_id, line)`` /
+  ``exit_loop(region_id, activation_id, trip_count)``
+* ``loop_iteration(region_id, index)`` — *index* is the 0-based iteration
+  about to execute
+* ``on_stmt(line)`` — a statement at the current region level starts
+* ``on_read(addr, var, line)`` / ``on_write(addr, var, line)``
+* ``on_cost(line, amount)`` — IR-instruction cost accrued at *line* since
+  the last flush (flushed per statement and around region transitions)
+
+``Sink`` provides no-op defaults so concrete sinks override only what they
+need; :class:`MultiSink` fans out to several sinks in order.
+"""
+
+from __future__ import annotations
+
+
+class Sink:
+    """Base sink with no-op handlers."""
+
+    def enter_function(self, region_id: int, activation_id: int, call_line: int) -> None:
+        pass
+
+    def exit_function(self, region_id: int, activation_id: int) -> None:
+        pass
+
+    def enter_loop(self, region_id: int, activation_id: int, line: int) -> None:
+        pass
+
+    def exit_loop(self, region_id: int, activation_id: int, trip_count: int) -> None:
+        pass
+
+    def loop_iteration(self, region_id: int, index: int) -> None:
+        pass
+
+    def on_stmt(self, line: int) -> None:
+        pass
+
+    def on_read(self, addr: int, var: str, line: int, element: bool = False) -> None:
+        """*element* is True for array-element accesses (memory traffic that
+        reaches DRAM); scalars are register/stack-resident."""
+
+    def on_write(self, addr: int, var: str, line: int, element: bool = False) -> None:
+        pass
+
+    def on_cost(self, line: int, amount: int) -> None:
+        pass
+
+    def finish(self) -> None:
+        """Called once when the profiled run completes."""
+
+
+class MultiSink(Sink):
+    """Fan-out sink delivering every event to each child in order."""
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def enter_function(self, region_id: int, activation_id: int, call_line: int) -> None:
+        for s in self.sinks:
+            s.enter_function(region_id, activation_id, call_line)
+
+    def exit_function(self, region_id: int, activation_id: int) -> None:
+        for s in self.sinks:
+            s.exit_function(region_id, activation_id)
+
+    def enter_loop(self, region_id: int, activation_id: int, line: int) -> None:
+        for s in self.sinks:
+            s.enter_loop(region_id, activation_id, line)
+
+    def exit_loop(self, region_id: int, activation_id: int, trip_count: int) -> None:
+        for s in self.sinks:
+            s.exit_loop(region_id, activation_id, trip_count)
+
+    def loop_iteration(self, region_id: int, index: int) -> None:
+        for s in self.sinks:
+            s.loop_iteration(region_id, index)
+
+    def on_stmt(self, line: int) -> None:
+        for s in self.sinks:
+            s.on_stmt(line)
+
+    def on_read(self, addr: int, var: str, line: int, element: bool = False) -> None:
+        for s in self.sinks:
+            s.on_read(addr, var, line, element)
+
+    def on_write(self, addr: int, var: str, line: int, element: bool = False) -> None:
+        for s in self.sinks:
+            s.on_write(addr, var, line, element)
+
+    def on_cost(self, line: int, amount: int) -> None:
+        for s in self.sinks:
+            s.on_cost(line, amount)
+
+    def finish(self) -> None:
+        for s in self.sinks:
+            s.finish()

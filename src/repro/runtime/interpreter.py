@@ -1,0 +1,640 @@
+"""Tree-walking, instrumented interpreter for MiniC.
+
+The interpreter is the reproduction's stand-in for the paper's
+LLVM-instrumented native execution: it runs the program with concrete inputs
+while reporting memory accesses, region transitions, loop iterations, and an
+IR-like cost to an attached :class:`~repro.runtime.events.Sink`.
+
+Semantics notes
+---------------
+* ``int``/``int`` division truncates toward zero and ``%`` follows C sign
+  rules.
+* Scalar locals declared inside a loop body behave like stack slots: the cell
+  (and hence the address) is allocated once per *function activation* and
+  reused across iterations, so the profiler observes the same WAR/WAW
+  patterns DiscoPoP sees — and can prove privatization.
+* Function namespaces are flat per activation; redeclaring a name in
+  *disjoint* scopes is fine, but MiniC does not support using an outer
+  variable after an inner scope shadowed it.
+* ``&``-reference parameters share the caller's scalar cell; array parameters
+  share the caller's array.  Aliasing is therefore visible to the profiler.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import InterpreterError, StepLimitExceeded
+from repro.lang.ast_nodes import (
+    ArrayLV,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    Function,
+    If,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    UnaryOp,
+    VarDecl,
+    VarLV,
+    VarRef,
+    While,
+)
+from repro.runtime import costs
+from repro.runtime.events import Sink
+from repro.runtime.intrinsics import INTRINSICS
+from repro.runtime.values import AddressSpace, ArrayValue, ScalarCell
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+@dataclass
+class _Frame:
+    """One function activation: flat name table plus per-decl-site cells."""
+
+    func: Function
+    vars: dict[str, ScalarCell | ArrayValue] = field(default_factory=dict)
+    decl_slots: dict[int, ScalarCell | ArrayValue] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one interpreted run."""
+
+    value: Any
+    total_cost: int
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, int | float]
+    globals: dict[str, Any]
+
+
+def _c_int_div(a: int, b: int, line: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer division by zero", line=line)
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _c_int_mod(a: int, b: int, line: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer modulo by zero", line=line)
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+class Interpreter:
+    """Executes a MiniC :class:`Program`, reporting events to a sink."""
+
+    def __init__(
+        self,
+        program: Program,
+        sink: Sink | None = None,
+        max_cost: int = 500_000_000,
+    ) -> None:
+        self.program = program
+        self.sink = sink
+        self.max_cost = max_cost
+        self.space = AddressSpace()
+        self.globals: dict[str, ScalarCell | ArrayValue] = {}
+        self.total_cost = 0
+        self._acc_line = -1
+        self._acc_cost = 0
+        self._next_activation = 0
+        self._functions = {f.name: f for f in program.functions}
+        self._init_globals()
+
+    # ------------------------------------------------------------------
+    # cost / event plumbing
+    # ------------------------------------------------------------------
+
+    def _charge(self, line: int, amount: int) -> None:
+        self.total_cost += amount
+        if self.total_cost > self.max_cost:
+            raise StepLimitExceeded(
+                f"execution exceeded the cost budget of {self.max_cost} instructions"
+            )
+        if self.sink is None:
+            return
+        if line != self._acc_line:
+            self._flush()
+            self._acc_line = line
+        self._acc_cost += amount
+
+    def _flush(self) -> None:
+        if self.sink is not None and self._acc_cost:
+            self.sink.on_cost(self._acc_line, self._acc_cost)
+        self._acc_cost = 0
+
+    def _new_activation(self) -> int:
+        self._next_activation += 1
+        return self._next_activation
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _init_globals(self) -> None:
+        for decl in self.program.globals:
+            if decl.dims:
+                extents = [self._const_expr(d) for d in decl.dims]
+                self.globals[decl.name] = ArrayValue(
+                    decl.type, extents, self.space, name=decl.name
+                )
+            else:
+                value: int | float = 0 if decl.type == "int" else 0.0
+                if decl.init is not None:
+                    value = self._const_expr(decl.init)
+                    value = int(value) if decl.type == "int" else float(value)
+                self.globals[decl.name] = ScalarCell(
+                    addr=self.space.alloc(1), value=value, name=decl.name
+                )
+
+    def _const_expr(self, expr: Expr) -> int | float:
+        """Evaluate a constant expression (globals initialization only)."""
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            return -self._const_expr(expr.operand)
+        if isinstance(expr, BinOp):
+            left = self._const_expr(expr.left)
+            right = self._const_expr(expr.right)
+            return self._apply_binop(expr.op, left, right, expr.line)
+        if isinstance(expr, VarRef):
+            slot = self.globals.get(expr.name)
+            if isinstance(slot, ScalarCell):
+                return slot.value
+        raise InterpreterError("global initializer must be constant", line=expr.line)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str, args: Sequence[Any] = ()) -> RunResult:
+        """Call *entry* with Python *args*, returning a :class:`RunResult`.
+
+        Array arguments may be numpy arrays or (nested) lists and are copied
+        into fresh :class:`ArrayValue` storage; their final contents are
+        exposed in ``RunResult.arrays`` keyed by parameter name.  Scalars are
+        passed by value; ``&``-reference scalar parameters receive a fresh
+        cell whose final value appears in ``RunResult.scalars``.
+        """
+        if entry not in self._functions:
+            raise InterpreterError(f"no function named {entry!r}")
+        func = self._functions[entry]
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                f"{entry}() expects {len(func.params)} arguments, got {len(args)}"
+            )
+        bound: list[ScalarCell | ArrayValue | int | float] = []
+        arrays: dict[str, ArrayValue] = {}
+        ref_cells: dict[str, ScalarCell] = {}
+        for param, arg in zip(func.params, args):
+            if param.is_array:
+                if isinstance(arg, ArrayValue):
+                    value = arg
+                else:
+                    arr = np.asarray(
+                        arg, dtype=np.int64 if param.type == "int" else np.float64
+                    )
+                    if arr.ndim != param.array_rank:
+                        raise InterpreterError(
+                            f"argument for {param.name!r} has rank {arr.ndim}, "
+                            f"expected {param.array_rank}"
+                        )
+                    value = ArrayValue.from_numpy(arr, self.space, name=param.name)
+                arrays[param.name] = value
+                bound.append(value)
+            elif param.by_ref:
+                cell = ScalarCell(
+                    addr=self.space.alloc(1),
+                    value=int(arg) if param.type == "int" else float(arg),
+                    name=param.name,
+                )
+                ref_cells[param.name] = cell
+                bound.append(cell)
+            else:
+                bound.append(int(arg) if param.type == "int" else float(arg))
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 40_000))
+        try:
+            value = self._invoke(func, bound, call_line=func.line)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self._flush()
+        if self.sink is not None:
+            self.sink.finish()
+        return RunResult(
+            value=value,
+            total_cost=self.total_cost,
+            arrays={name: a.to_numpy() for name, a in arrays.items()},
+            scalars={name: c.value for name, c in ref_cells.items()},
+            globals={
+                name: (slot.to_numpy() if isinstance(slot, ArrayValue) else slot.value)
+                for name, slot in self.globals.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def _invoke(
+        self,
+        func: Function,
+        bound: list[ScalarCell | ArrayValue | int | float],
+        call_line: int,
+    ) -> Any:
+        frame = _Frame(func=func)
+        self._charge(call_line, costs.CALL)
+        self._flush()
+        activation = self._new_activation()
+        if self.sink is not None:
+            self.sink.enter_function(func.region_id, activation, call_line)
+            # Anchor the new activation's site at the signature line so the
+            # parameter stores below are not attributed to the call site.
+            self.sink.on_stmt(func.line)
+        try:
+            for param, value in zip(func.params, bound):
+                if param.is_array or param.by_ref:
+                    frame.vars[param.name] = value  # shared storage
+                else:
+                    cell = ScalarCell(
+                        addr=self.space.alloc(1), value=value, name=param.name
+                    )
+                    frame.vars[param.name] = cell
+                    if self.sink is not None:
+                        self.sink.on_write(cell.addr, param.name, func.line)
+                    self._charge(func.line, costs.STORE)
+            result: Any = None
+            try:
+                self._exec_body(func.body, frame)
+            except _ReturnSignal as sig:
+                result = sig.value
+            self._charge(func.line, costs.RETURN)
+            return result
+        finally:
+            self._flush()
+            if self.sink is not None:
+                self.sink.exit_function(func.region_id, activation)
+
+    def _call(self, call: Call, frame: _Frame) -> Any:
+        if call.name in INTRINSICS:
+            spec = INTRINSICS[call.name]
+            values = [self._eval(a, frame) for a in call.args]
+            self._charge(call.line, spec.cost)
+            try:
+                return spec.fn(*values)
+            except (ValueError, OverflowError, ZeroDivisionError) as exc:
+                raise InterpreterError(
+                    f"intrinsic {call.name}() failed: {exc}", line=call.line
+                ) from exc
+        func = self._functions.get(call.name)
+        if func is None:
+            raise InterpreterError(f"call to unknown function {call.name!r}", line=call.line)
+        if len(call.args) != len(func.params):
+            raise InterpreterError(
+                f"{call.name}() expects {len(func.params)} args, got {len(call.args)}",
+                line=call.line,
+            )
+        bound: list[ScalarCell | ArrayValue | int | float] = []
+        for param, arg in zip(func.params, call.args):
+            if param.is_array:
+                if not isinstance(arg, VarRef):
+                    raise InterpreterError(
+                        f"array argument for {param.name!r} must be an array name",
+                        line=call.line,
+                    )
+                slot = self._lookup(arg.name, frame, arg.line)
+                if not isinstance(slot, ArrayValue):
+                    raise InterpreterError(
+                        f"{arg.name!r} is not an array", line=arg.line
+                    )
+                if slot.rank != param.array_rank:
+                    raise InterpreterError(
+                        f"array {arg.name!r} has rank {slot.rank}, parameter "
+                        f"{param.name!r} expects {param.array_rank}",
+                        line=call.line,
+                    )
+                bound.append(slot)
+            elif param.by_ref:
+                if not isinstance(arg, VarRef):
+                    raise InterpreterError(
+                        f"reference argument for {param.name!r} must be a variable",
+                        line=call.line,
+                    )
+                slot = self._lookup(arg.name, frame, arg.line)
+                if not isinstance(slot, ScalarCell):
+                    raise InterpreterError(
+                        f"{arg.name!r} is not a scalar", line=arg.line
+                    )
+                bound.append(slot)
+            else:
+                value = self._eval(arg, frame)
+                bound.append(int(value) if param.type == "int" else float(value))
+        return self._invoke(func, bound, call_line=call.line)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _exec_body(self, body: list[Stmt], frame: _Frame) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, frame)
+
+    def _exec_stmt(self, stmt: Stmt, frame: _Frame) -> None:
+        if self.sink is not None:
+            self.sink.on_stmt(stmt.line)
+        kind = type(stmt)
+        if kind is Assign:
+            self._exec_assign(stmt, frame)
+        elif kind is VarDecl:
+            self._exec_decl(stmt, frame)
+        elif kind is If:
+            cond = self._eval(stmt.cond, frame)
+            self._charge(stmt.line, costs.BRANCH)
+            if cond:
+                self._exec_body(stmt.then_body, frame)
+            else:
+                self._exec_body(stmt.else_body, frame)
+        elif kind is For:
+            self._exec_for(stmt, frame)
+        elif kind is While:
+            self._exec_while(stmt, frame)
+        elif kind is Return:
+            value = None if stmt.value is None else self._eval(stmt.value, frame)
+            raise _ReturnSignal(value)
+        elif kind is ExprStmt:
+            self._eval(stmt.expr, frame)
+        elif kind is Break:
+            raise _BreakSignal()
+        elif kind is Continue:
+            raise _ContinueSignal()
+        else:  # pragma: no cover - exhaustiveness guard
+            raise InterpreterError(f"unknown statement {stmt!r}", line=stmt.line)
+
+    def _exec_decl(self, decl: VarDecl, frame: _Frame) -> None:
+        slot = frame.decl_slots.get(decl.stmt_id)
+        if slot is None:
+            if decl.dims:
+                extents = [int(self._eval(d, frame)) for d in decl.dims]
+                slot = ArrayValue(decl.type, extents, self.space, name=decl.name)
+            else:
+                slot = ScalarCell(
+                    addr=self.space.alloc(1),
+                    value=0 if decl.type == "int" else 0.0,
+                    name=decl.name,
+                )
+            frame.decl_slots[decl.stmt_id] = slot
+        frame.vars[decl.name] = slot
+        if decl.init is not None and isinstance(slot, ScalarCell):
+            value = self._eval(decl.init, frame)
+            slot.value = int(value) if decl.type == "int" else float(value)
+            if self.sink is not None:
+                self.sink.on_write(slot.addr, decl.name, decl.line)
+            self._charge(decl.line, costs.STORE)
+
+    def _exec_assign(self, stmt: Assign, frame: _Frame) -> None:
+        target = stmt.target
+        line = stmt.line
+        slot = self._lookup(target.name, frame, line)
+        if isinstance(target, ArrayLV):
+            if not isinstance(slot, ArrayValue):
+                raise InterpreterError(f"{target.name!r} is not an array", line=line)
+            indices = [int(self._eval(ix, frame)) for ix in target.indices]
+            self._charge(line, costs.INDEX * len(indices))
+            flat = slot.flat_index(indices, line=line)
+            addr = slot.addr_of(flat)
+            if stmt.op == "=":
+                value = self._eval(stmt.value, frame)
+            else:
+                current = slot.get(flat)
+                if self.sink is not None:
+                    self.sink.on_read(addr, target.name, line, True)
+                self._charge(line, costs.LOAD)
+                rhs = self._eval(stmt.value, frame)
+                value = self._apply_binop(stmt.op[0], current, rhs, line)
+                self._charge(line, costs.ARITH)
+            slot.set(flat, value)
+            if self.sink is not None:
+                self.sink.on_write(addr, target.name, line, True)
+            self._charge(line, costs.STORE)
+        else:
+            if not isinstance(slot, ScalarCell):
+                raise InterpreterError(
+                    f"cannot assign to array {target.name!r} without indices", line=line
+                )
+            if stmt.op == "=":
+                value = self._eval(stmt.value, frame)
+            else:
+                if self.sink is not None:
+                    self.sink.on_read(slot.addr, target.name, line)
+                self._charge(line, costs.LOAD)
+                rhs = self._eval(stmt.value, frame)
+                value = self._apply_binop(stmt.op[0], slot.value, rhs, line)
+                self._charge(line, costs.ARITH)
+            if isinstance(slot.value, int) and not isinstance(value, int):
+                value = int(value)
+            slot.value = value
+            if self.sink is not None:
+                self.sink.on_write(slot.addr, target.name, line)
+            self._charge(line, costs.STORE)
+
+    def _exec_for(self, loop: For, frame: _Frame) -> None:
+        self._flush()
+        activation = self._new_activation()
+        if self.sink is not None:
+            self.sink.enter_loop(loop.region_id, activation, loop.line)
+        trips = 0
+        try:
+            if loop.init is not None:
+                self._exec_stmt(loop.init, frame)
+            while True:
+                if self.sink is not None:
+                    # flush the per-line cost buffer so per-iteration cost
+                    # accounting sees this iteration's charges
+                    self._flush()
+                    self.sink.loop_iteration(loop.region_id, trips)
+                if loop.cond is not None:
+                    self._charge(loop.line, costs.BRANCH)
+                    if not self._eval(loop.cond, frame):
+                        break
+                try:
+                    self._exec_body(loop.body, frame)
+                except _ContinueSignal:
+                    pass
+                except _BreakSignal:
+                    trips += 1
+                    break
+                if loop.step is not None:
+                    self._exec_stmt(loop.step, frame)
+                trips += 1
+        finally:
+            self._flush()
+            if self.sink is not None:
+                self.sink.exit_loop(loop.region_id, activation, trips)
+
+    def _exec_while(self, loop: While, frame: _Frame) -> None:
+        self._flush()
+        activation = self._new_activation()
+        if self.sink is not None:
+            self.sink.enter_loop(loop.region_id, activation, loop.line)
+        trips = 0
+        try:
+            while True:
+                if self.sink is not None:
+                    self._flush()
+                    self.sink.loop_iteration(loop.region_id, trips)
+                self._charge(loop.line, costs.BRANCH)
+                if not self._eval(loop.cond, frame):
+                    break
+                try:
+                    self._exec_body(loop.body, frame)
+                except _ContinueSignal:
+                    pass
+                except _BreakSignal:
+                    trips += 1
+                    break
+                trips += 1
+        finally:
+            self._flush()
+            if self.sink is not None:
+                self.sink.exit_loop(loop.region_id, activation, trips)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _lookup(self, name: str, frame: _Frame, line: int) -> ScalarCell | ArrayValue:
+        slot = frame.vars.get(name)
+        if slot is None:
+            slot = self.globals.get(name)
+        if slot is None:
+            raise InterpreterError(f"use of undeclared variable {name!r}", line=line)
+        return slot
+
+    def _eval(self, expr: Expr, frame: _Frame) -> Any:
+        kind = type(expr)
+        if kind is IntLit:
+            return expr.value
+        if kind is FloatLit:
+            return expr.value
+        if kind is VarRef:
+            slot = self._lookup(expr.name, frame, expr.line)
+            if isinstance(slot, ArrayValue):
+                raise InterpreterError(
+                    f"array {expr.name!r} used as a scalar", line=expr.line
+                )
+            if self.sink is not None:
+                self.sink.on_read(slot.addr, expr.name, expr.line)
+            self._charge(expr.line, costs.LOAD)
+            return slot.value
+        if kind is ArrayRef:
+            slot = self._lookup(expr.name, frame, expr.line)
+            if not isinstance(slot, ArrayValue):
+                raise InterpreterError(f"{expr.name!r} is not an array", line=expr.line)
+            indices = [int(self._eval(ix, frame)) for ix in expr.indices]
+            self._charge(expr.line, costs.INDEX * len(indices))
+            flat = slot.flat_index(indices, line=expr.line)
+            if self.sink is not None:
+                self.sink.on_read(slot.addr_of(flat), expr.name, expr.line, True)
+            self._charge(expr.line, costs.LOAD)
+            return slot.get(flat)
+        if kind is BinOp:
+            if expr.op == "&&":
+                left = self._eval(expr.left, frame)
+                self._charge(expr.line, costs.ARITH)
+                if not left:
+                    return 0
+                return 1 if self._eval(expr.right, frame) else 0
+            if expr.op == "||":
+                left = self._eval(expr.left, frame)
+                self._charge(expr.line, costs.ARITH)
+                if left:
+                    return 1
+                return 1 if self._eval(expr.right, frame) else 0
+            left = self._eval(expr.left, frame)
+            right = self._eval(expr.right, frame)
+            cost = costs.COMPARE if expr.op in ("==", "!=", "<", "<=", ">", ">=") else costs.ARITH
+            self._charge(expr.line, cost)
+            return self._apply_binop(expr.op, left, right, expr.line)
+        if kind is UnaryOp:
+            value = self._eval(expr.operand, frame)
+            self._charge(expr.line, costs.UNARY)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return 0 if value else 1
+            raise InterpreterError(f"unknown unary operator {expr.op!r}", line=expr.line)
+        if kind is Call:
+            return self._call(expr, frame)
+        raise InterpreterError(f"unknown expression {expr!r}", line=getattr(expr, "line", None))
+
+    @staticmethod
+    def _apply_binop(op: str, left: Any, right: Any, line: int) -> Any:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                return _c_int_div(left, right, line)
+            if right == 0:
+                raise InterpreterError("float division by zero", line=line)
+            return left / right
+        if op == "%":
+            if isinstance(left, int) and isinstance(right, int):
+                return _c_int_mod(left, right, line)
+            raise InterpreterError("% requires integer operands", line=line)
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        raise InterpreterError(f"unknown operator {op!r}", line=line)
+
+
+def run_program(
+    program: Program,
+    entry: str,
+    args: Sequence[Any] = (),
+    sink: Sink | None = None,
+    max_cost: int = 500_000_000,
+) -> RunResult:
+    """Convenience wrapper: build an :class:`Interpreter` and run *entry*."""
+    return Interpreter(program, sink=sink, max_cost=max_cost).run(entry, args)

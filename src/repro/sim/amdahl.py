@@ -1,0 +1,23 @@
+"""Amdahl composition of simulated regions with the serial remainder."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.result import SimOutcome
+
+
+def compose_speedup(total_serial: float, regions: Sequence[SimOutcome]) -> float:
+    """Overall program speedup when *regions* run in parallel.
+
+    ``total_serial`` is the whole program's serial instruction count; the
+    parts outside the simulated regions stay serial.  Region serial times
+    exceeding the program total (possible through rounding) are clamped.
+    """
+    region_serial = sum(r.serial_time for r in regions)
+    region_parallel = sum(r.parallel_time for r in regions)
+    remainder = max(0.0, total_serial - region_serial)
+    t_par = remainder + region_parallel
+    if t_par <= 0:
+        return 1.0
+    return total_serial / t_par

@@ -1,0 +1,35 @@
+"""Code transformation support.
+
+The paper's output classifies code blocks "according to the appropriate
+support structure of the detected pattern" to ease manual transformation;
+its future work is semi-automatic transformation.  This package provides
+both:
+
+* :func:`annotate` — pragma-style annotations on the statements of every
+  detected pattern (fork/worker/barrier marks, ``parallel for`` and
+  ``reduction`` clauses, pipeline stage markers), emitted through the
+  source printer;
+* :func:`fuse_loops` — an actual AST rewrite implementing the fusion
+  pattern: two compatible do-all loops are merged into one, and the result
+  is re-validated and re-parsed so it is a first-class program again.
+"""
+
+from repro.transform.annotations import annotate, annotated_source
+from repro.transform.fusion import FusionError, fuse_loops
+from repro.transform.loops import (
+    FissionError,
+    PeelError,
+    fission_loop,
+    peel_first_iteration,
+)
+
+__all__ = [
+    "annotate",
+    "annotated_source",
+    "fuse_loops",
+    "FusionError",
+    "peel_first_iteration",
+    "PeelError",
+    "fission_loop",
+    "FissionError",
+]

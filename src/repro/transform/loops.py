@@ -1,0 +1,199 @@
+"""Loop peeling and fission.
+
+The paper lists "loop optimizations such as peeling and fission" as future
+work and actually *uses* peeling by hand: "We implemented a multi-loop
+pipeline for reg_detect by peeling the first iteration of the first loop"
+(Section IV-A).  These transforms provide that mechanically:
+
+* :func:`peel_first_iteration` — hoist the first iteration of a canonical
+  for-loop out in front, substituting the induction variable's start value;
+* :func:`fission_loop` — split a loop body into two loops over the same
+  range, valid when no scalar value flows across the split point within an
+  iteration.
+
+Both return a freshly re-parsed, re-validated program (like
+:func:`~repro.transform.fusion.fuse_loops`).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import ReproError
+from repro.lang.analysis import stmt_declares, stmt_reads, stmt_writes
+from repro.lang.ast_nodes import (
+    ArrayLV,
+    ArrayRef,
+    Assign,
+    Expr,
+    For,
+    IntLit,
+    Program,
+    Stmt,
+    VarDecl,
+    VarLV,
+    VarRef,
+    stmt_exprs,
+    walk_stmts,
+)
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+from repro.lang.validate import validate_program
+from repro.transform.fusion import _find_loop_parent, _induction_name
+
+
+class PeelError(ReproError):
+    """The requested loop cannot be peeled."""
+
+
+class FissionError(ReproError):
+    """The requested loop cannot be fissioned."""
+
+
+def _substitute_var(stmts: list[Stmt], name: str, value: Expr) -> None:
+    """Replace every read of *name* with *value* (a literal) in place."""
+
+    def subst_expr(expr: Expr) -> Expr:
+        from repro.lang.ast_nodes import BinOp, Call, UnaryOp
+
+        if isinstance(expr, VarRef) and expr.name == name:
+            return copy.deepcopy(value)
+        if isinstance(expr, BinOp):
+            expr.left = subst_expr(expr.left)
+            expr.right = subst_expr(expr.right)
+        elif isinstance(expr, UnaryOp):
+            expr.operand = subst_expr(expr.operand)
+        elif isinstance(expr, ArrayRef):
+            expr.indices = [subst_expr(ix) for ix in expr.indices]
+        elif isinstance(expr, Call):
+            expr.args = [subst_expr(a) for a in expr.args]
+        return expr
+
+    for stmt in walk_stmts(stmts):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, ArrayLV):
+                stmt.target.indices = [subst_expr(ix) for ix in stmt.target.indices]
+            stmt.value = subst_expr(stmt.value)
+        elif isinstance(stmt, VarDecl) and stmt.init is not None:
+            stmt.init = subst_expr(stmt.init)
+        else:
+            for expr in stmt_exprs(stmt):
+                subst_expr(expr)
+
+
+def peel_first_iteration(program: Program, loop_region: int) -> Program:
+    """Peel the first iteration of a canonical for-loop out in front.
+
+    Requires ``for (iv = <int literal>; iv < bound; iv += <int literal>)``
+    with the induction variable unwritten in the body.  The peeled copy is
+    guarded by the loop's condition (with the start value substituted), so
+    zero-trip loops stay zero-trip.
+    """
+    work = copy.deepcopy(program)
+    loc = None
+    for func in work.functions:
+        loc = loc or _find_loop_parent(func.body, loop_region)
+    if loc is None:
+        raise PeelError("loop region not found")
+    body, index = loc
+    loop = body[index]
+    if not isinstance(loop, For):
+        raise PeelError("only for-loops can be peeled")
+    iv = _induction_name(loop)
+    if iv is None:
+        raise PeelError("loop lacks a canonical induction variable")
+    init_expr = loop.init.init if isinstance(loop.init, VarDecl) else loop.init.value
+    if not isinstance(init_expr, IntLit):
+        raise PeelError("loop start must be an integer literal")
+    step = loop.step
+    if (
+        not isinstance(step, Assign)
+        or step.op not in ("+=", "-=")
+        or not isinstance(step.value, IntLit)
+    ):
+        raise PeelError("loop step must be a constant increment")
+    for stmt in walk_stmts(loop.body):
+        if iv in stmt_writes(stmt, recursive=False):
+            raise PeelError("induction variable is written in the body")
+        if iv in stmt_declares(stmt, recursive=False):
+            raise PeelError("induction variable is redeclared in the body")
+
+    start = init_expr.value
+    delta = step.value.value if step.op == "+=" else -step.value.value
+
+    peeled = copy.deepcopy(loop.body)
+    _substitute_var(peeled, iv, IntLit(start))
+    # Guard the peeled iteration with the (substituted) loop condition.
+    from repro.lang.ast_nodes import If
+
+    cond = copy.deepcopy(loop.cond)
+    holder: list[Stmt] = [Assign(target=VarLV(name="__tmp"), op="=", value=cond)]
+    _substitute_var(holder, iv, IntLit(start))
+    guarded = If(cond=holder[0].value, then_body=peeled, else_body=[])
+
+    # Advance the loop's start past the peeled iteration.
+    new_start = IntLit(start + delta)
+    if isinstance(loop.init, VarDecl):
+        loop.init.init = new_start
+    else:
+        loop.init.value = new_start
+
+    body.insert(index, guarded)
+    source = format_program(work)
+    out = parse_program(source)
+    validate_program(out)
+    return out
+
+
+def fission_loop(program: Program, loop_region: int, split_at: int) -> Program:
+    """Split a loop body at statement index *split_at* into two loops.
+
+    The split is rejected when a scalar defined in the first half is read
+    in the second half (its value would have to be expanded into an array)
+    — array flow at the same index is fine because the first loop finishes
+    before the second starts.
+    """
+    work = copy.deepcopy(program)
+    loc = None
+    for func in work.functions:
+        loc = loc or _find_loop_parent(func.body, loop_region)
+    if loc is None:
+        raise FissionError("loop region not found")
+    body, index = loc
+    loop = body[index]
+    if not isinstance(loop, For):
+        raise FissionError("only for-loops can be fissioned")
+    if not (0 < split_at < len(loop.body)):
+        raise FissionError(
+            f"split index {split_at} out of range 1..{len(loop.body) - 1}"
+        )
+    first = loop.body[:split_at]
+    second = loop.body[split_at:]
+
+    defined_first: set[str] = set()
+    for stmt in first:
+        defined_first |= stmt_writes(stmt) | stmt_declares(stmt)
+    iv = _induction_name(loop)
+    crossing = set()
+    for stmt in second:
+        crossing |= stmt_reads(stmt) & defined_first
+    crossing.discard(iv)
+    # array names are fine: whole-array flow survives the barrier between
+    # the two loops; scalars would carry a per-iteration value across.
+    from repro.lang.analysis import array_names
+
+    scalar_crossing = crossing - array_names(work)
+    if scalar_crossing:
+        raise FissionError(
+            f"scalar value(s) {sorted(scalar_crossing)} flow across the split"
+        )
+
+    second_loop = copy.deepcopy(loop)
+    second_loop.body = second
+    loop.body = first
+    body.insert(index + 1, second_loop)
+
+    source = format_program(work)
+    out = parse_program(source)
+    validate_program(out)
+    return out

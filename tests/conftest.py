@@ -1,0 +1,82 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.validate import validate_program
+from repro.patterns.engine import analyze
+from repro.profiling import profile_run
+from repro.runtime import run_program
+
+
+def parsed(source: str):
+    """Parse + validate a MiniC source string."""
+    program = parse_program(source)
+    validate_program(program)
+    return program
+
+
+@pytest.fixture
+def reduction_program():
+    return parsed(
+        """\
+float total(float A[], int n) {
+    float sum = 0.0;
+    for (int i = 0; i < n; i++) {
+        sum += A[i];
+    }
+    return sum;
+}
+"""
+    )
+
+
+@pytest.fixture
+def fib_program():
+    return parsed(
+        """\
+int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    int x = fib(n - 1);
+    int y = fib(n - 2);
+    return x + y;
+}
+"""
+    )
+
+
+@pytest.fixture
+def pipeline_program():
+    """Two dependent loops: stage 1 do-all, stage 2 sequential (reg_detect)."""
+    return parsed(
+        """\
+void kernel(float mean[], float path[], int n) {
+    for (int i = 0; i < n; i++) {
+        mean[i] = mean[i] * 0.5 + i;
+    }
+    for (int j = 1; j < n; j++) {
+        path[j] = path[j - 1] + mean[j];
+    }
+}
+"""
+    )
+
+
+def run(program, entry, args):
+    return run_program(program, entry, args)
+
+
+def profiled(program, entry, args):
+    return profile_run(program, entry, args)
+
+
+def analyzed(program, entry, args, **kw):
+    return analyze(program, entry, [args], **kw)
+
+
+__all__ = ["parsed", "run", "profiled", "analyzed", "np"]

@@ -1,0 +1,138 @@
+"""High-level API and CLI tests."""
+
+import numpy as np
+import pytest
+
+from repro import analyze_source, compile_source, summarize_patterns
+from repro.cli import main
+from repro.errors import ValidationError
+
+SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+
+
+class TestApi:
+    def test_compile_source(self):
+        program = compile_source(SRC)
+        assert program.has_function("total")
+
+    def test_compile_rejects_invalid(self):
+        with pytest.raises(ValidationError):
+            compile_source("void f() { x = 1; }")
+
+    def test_analyze_source(self):
+        result = analyze_source(SRC, entry="total", arg_sets=[[np.ones(16), 16]])
+        assert summarize_patterns(result) == "Reduction"
+
+    def test_multiple_arg_sets_merge(self):
+        result = analyze_source(
+            SRC, entry="total", arg_sets=[[np.ones(8), 8], [np.ones(32), 32]]
+        )
+        assert result.profile.runs == 2
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fib" in out and "streamcluster" in out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "reg_detect", "--no-source"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-loop pipeline" in out
+        assert "Simulated best speedup" in out
+
+    def test_analyze_file(self, tmp_path, capsys):
+        path = tmp_path / "total.minic"
+        path.write_text(SRC)
+        code = main(
+            [
+                "analyze",
+                str(path),
+                "--entry",
+                "total",
+                "--rand",
+                "A:32",
+                "--scalar",
+                "32",
+                "--no-source",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Primary pattern: Reduction" in out
+
+    def test_profile_then_detect(self, tmp_path, capsys):
+        """The DiscoPoP two-phase workflow: instrumented run -> file ->
+        detection over the saved profile."""
+        src_path = tmp_path / "total.minic"
+        src_path.write_text(SRC)
+        profile_path = tmp_path / "total.profile.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    str(src_path),
+                    "--entry",
+                    "total",
+                    "--rand",
+                    "A:32",
+                    "--scalar",
+                    "32",
+                    "-o",
+                    str(profile_path),
+                ]
+            )
+            == 0
+        )
+        assert profile_path.exists()
+        out = capsys.readouterr().out
+        assert "dependence records" in out
+        assert (
+            main(
+                [
+                    "detect",
+                    str(src_path),
+                    "--profile",
+                    str(profile_path),
+                    "--no-source",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Primary pattern: Reduction" in out
+
+    def test_table3_summary(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert out.count("|") > 50
+        for name in ("fib", "kmeans", "streamcluster"):
+            assert name in out
+
+    def test_experiments_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        assert main(["experiments", "-o", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "Table VI" in text
+        assert "| NO |" not in text  # every label matches
+
+    def test_analyze_zeros_array(self, tmp_path, capsys):
+        src = "void f(float A[][], int n) { for (int i = 0; i < n; i++) { A[i][0] = 1.0; } }"
+        path = tmp_path / "k.minic"
+        path.write_text(src)
+        code = main(
+            ["analyze", str(path), "--entry", "f", "--zeros", "A:8,8",
+             "--scalar", "8", "--no-source"]
+        )
+        assert code == 0
+        assert "Do-all" in capsys.readouterr().out

@@ -1,0 +1,179 @@
+"""Benchmark program integrity: every registered kernel parses, validates,
+runs, and computes the right answer (cross-checked against numpy)."""
+
+import numpy as np
+import pytest
+
+from repro.bench_programs import all_benchmarks, get_benchmark
+from repro.lang.validate import validate_program
+from repro.runtime import run_program
+
+NAMES = [spec.name for spec in all_benchmarks()]
+
+
+class TestRegistry:
+    def test_seventeen_benchmarks(self):
+        assert len(NAMES) == 17
+
+    def test_suites(self):
+        suites = {spec.suite for spec in all_benchmarks()}
+        assert suites == {"BOTS", "Polybench", "Starbench", "Parsec"}
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_parses_and_validates(self, name):
+        validate_program(get_benchmark(name).program)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_runs_without_error(self, name):
+        spec = get_benchmark(name)
+        for args in spec.arg_sets():
+            run_program(spec.program, spec.entry, args)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_paper_row_sane(self, name):
+        row = get_benchmark(name).paper
+        assert row.speedup > 1.0
+        assert row.threads in (2, 3, 4, 8, 16, 32)
+        assert 0 < row.hotspot_pct <= 100.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_loc_positive(self, name):
+        assert get_benchmark(name).loc > 5
+
+
+class TestFunctionalCorrectness:
+    def test_fib(self):
+        spec = get_benchmark("fib")
+        assert run_program(spec.program, "fib", [15]).value == 610
+
+    def test_cilksort_sorts(self):
+        spec = get_benchmark("sort")
+        rng = np.random.default_rng(3)
+        data = rng.random(200)
+        result = run_program(spec.program, "cilksort", [data, np.zeros(200), 0, 200])
+        assert np.allclose(result.arrays["A"], np.sort(data))
+
+    def test_cilksort_handles_duplicates(self):
+        spec = get_benchmark("sort")
+        data = np.array([3.0, 1.0, 3.0, 1.0] * 16)
+        result = run_program(spec.program, "cilksort", [data, np.zeros(64), 0, 64])
+        assert np.allclose(result.arrays["A"], np.sort(data))
+
+    def test_strassen_equals_numpy_matmul(self):
+        spec = get_benchmark("strassen")
+        rng = np.random.default_rng(4)
+        n = 16
+        A, B = rng.random((n, n)), rng.random((n, n))
+        result = run_program(spec.program, "strassen", [A, B, np.zeros((n, n)), n])
+        assert np.allclose(result.arrays["C"], A @ B, atol=1e-9)
+
+    def test_nqueens_counts(self):
+        spec = get_benchmark("nqueens")
+        for n, expected in ((4, 2), (5, 10), (6, 4), (7, 40)):
+            board = np.zeros(n, dtype=np.int64)
+            assert run_program(spec.program, "nqueens", [board, 0, n]).value == expected
+
+    def test_2mm_equals_numpy(self):
+        spec = get_benchmark("2mm")
+        args = spec.arg_sets()[0]
+        tmp, A, B, C, D, ni, nj, nk, nl = args
+        result = run_program(spec.program, spec.entry, args)
+        expected_tmp = A @ B
+        expected_D = D * 0.5 + expected_tmp @ C
+        assert np.allclose(result.arrays["tmp"], expected_tmp)
+        assert np.allclose(result.arrays["D"], expected_D)
+
+    def test_3mm_equals_numpy(self):
+        spec = get_benchmark("3mm")
+        args = spec.arg_sets()[0]
+        E, A, B, F, C, D, G, n = args
+        result = run_program(spec.program, spec.entry, args)
+        assert np.allclose(result.arrays["G"], (A @ B) @ (C @ D))
+
+    def test_mvt_equals_numpy(self):
+        spec = get_benchmark("mvt")
+        args = spec.arg_sets()[0]
+        A, x1, x2, y1, y2, n = args
+        result = run_program(spec.program, spec.entry, args)
+        assert np.allclose(result.arrays["x1"], A @ y1)
+        assert np.allclose(result.arrays["x2"], A.T @ y2)
+
+    def test_bicg_equals_numpy(self):
+        spec = get_benchmark("bicg")
+        args = spec.arg_sets()[0]
+        A, s, q, p, r, nx, ny = args
+        result = run_program(spec.program, spec.entry, args)
+        assert np.allclose(result.arrays["s"], r @ A)
+        assert np.allclose(result.arrays["q"], A @ p)
+
+    def test_gesummv_equals_numpy(self):
+        spec = get_benchmark("gesummv")
+        args = spec.arg_sets()[0]
+        alpha, beta, A, B, x, y, n = args
+        result = run_program(spec.program, spec.entry, args)
+        assert np.allclose(result.arrays["y"], alpha * (A @ x) + beta * (B @ x))
+
+    def test_correlation_stats(self):
+        spec = get_benchmark("correlation")
+        args = spec.arg_sets()[0]
+        data, mean, stddev, n, m = args
+        result = run_program(spec.program, spec.entry, args)
+        assert np.allclose(result.arrays["mean"], data.mean(axis=0))
+        expected_std = np.sqrt(((data - data.mean(axis=0)) ** 2).mean(axis=0)) + 1e-4
+        assert np.allclose(result.arrays["stddev"], expected_std)
+
+    def test_rotcc_rotates(self):
+        spec = get_benchmark("rot-cc")
+        args = spec.arg_sets()[0]
+        src = args[0]
+        result = run_program(spec.program, spec.entry, args)
+        assert np.allclose(result.arrays["tmp"], src[::-1])
+
+    def test_kmeans_assigns_members(self):
+        spec = get_benchmark("kmeans")
+        args = spec.arg_sets()[0]
+        result = run_program(spec.program, spec.entry, args)
+        members = result.arrays["member"]
+        kmax = args[4]
+        assert members.min() >= 0
+        assert members.max() < kmax
+
+    def test_fluidanimate_densities_accumulate(self):
+        spec = get_benchmark("fluidanimate")
+        args = spec.arg_sets()[0]
+        result = run_program(spec.program, spec.entry, args)
+        assert (result.arrays["density"] > 0).all()
+        assert (result.arrays["forces"] > 0).all()
+
+    def test_ludcmp_substitution_chain(self):
+        spec = get_benchmark("ludcmp")
+        args = spec.arg_sets()[0]
+        result = run_program(spec.program, spec.entry, args)
+        x = result.arrays["x"]
+        assert np.isfinite(x).all()
+        assert np.abs(x).max() > 0
+
+    def test_streamcluster_covers_all_chunks(self):
+        spec = get_benchmark("streamcluster")
+        args = spec.arg_sets()[0]
+        result = run_program(spec.program, spec.entry, args)
+        assert (result.arrays["asgn"] >= 0).all()
+
+    def test_reg_detect_path_monotone(self):
+        spec = get_benchmark("reg_detect")
+        args = spec.arg_sets()[0]
+        result = run_program(spec.program, spec.entry, args)
+        path = result.arrays["path"]
+        # accumulating positive means along the path: nondecreasing interior
+        assert path[2] <= path[3] <= path[-2] or (np.diff(path[1:-1]) >= 0).all()
+
+    def test_fdtd_fields_update(self):
+        spec = get_benchmark("fdtd-2d")
+        args = spec.arg_sets()[0]
+        before_hz = args[2].copy()
+        result = run_program(spec.program, spec.entry, args)
+        assert not np.allclose(result.arrays["hz"], before_hz)

@@ -1,0 +1,133 @@
+"""Builder DSL tests: programs built programmatically must behave exactly
+like parsed ones."""
+
+import numpy as np
+import pytest
+
+from repro.lang.builder import ProgramBuilder
+from repro.patterns.engine import analyze, summarize_patterns
+from repro.runtime import run_program
+
+
+class TestBuilderBasics:
+    def test_scalar_function(self):
+        b = ProgramBuilder()
+        with b.function("int", "double_it", ("int", "x")) as f:
+            f.ret(f.var("x") * 2)
+        program = b.build()
+        assert run_program(program, "double_it", [21]).value == 42
+
+    def test_loop_and_array(self):
+        b = ProgramBuilder()
+        with b.function("void", "scale", ("float", "A[]"), ("int", "n")) as f:
+            with f.for_loop("i", 0, f.var("n")) as i:
+                f.assign(f.index("A", i), f.index("A", i) * 2.0)
+        program = b.build()
+        result = run_program(program, "scale", [np.arange(4.0), 4])
+        assert np.allclose(result.arrays["A"], [0, 2, 4, 6])
+
+    def test_if_else(self):
+        b = ProgramBuilder()
+        with b.function("int", "sign", ("int", "x")) as f:
+            with f.if_then(f.var("x") < 0):
+                f.ret(-1)
+            with f.else_branch():
+                f.ret(1)
+        program = b.build()
+        assert run_program(program, "sign", [-5]).value == -1
+        assert run_program(program, "sign", [5]).value == 1
+
+    def test_while_loop(self):
+        b = ProgramBuilder()
+        with b.function("int", "log2floor", ("int", "n")) as f:
+            c = f.declare("int", "c", 0)
+            with f.while_loop(f.var("n") > 1):
+                f.assign(f.var("n"), f.var("n") / 2)
+                f.add_assign(c, 1)
+            f.ret(c)
+        program = b.build()
+        assert run_program(program, "log2floor", [64]).value == 6
+
+    def test_globals(self):
+        b = ProgramBuilder()
+        b.global_scalar("int", "counter", 0)
+        b.global_array("float", "SCRATCH", 8)
+        with b.function("int", "tick") as f:
+            f.add_assign(f.var("counter"), 1)
+            f.ret(f.var("counter"))
+        program = b.build()
+        assert run_program(program, "tick", []).value == 1
+
+    def test_reference_param(self):
+        b = ProgramBuilder()
+        with b.function("void", "bump", ("int", "&x")) as f:
+            f.add_assign(f.var("x"), 7)
+        program = b.build()
+        assert run_program(program, "bump", [10]).scalars["x"] == 17
+
+    def test_intrinsic_calls(self):
+        b = ProgramBuilder()
+        with b.function("float", "hyp", ("float", "a"), ("float", "b")) as f:
+            f.ret(f.call("sqrt", f.var("a") * f.var("a") + f.var("b") * f.var("b")))
+        program = b.build()
+        assert run_program(program, "hyp", [3.0, 4.0]).value == pytest.approx(5.0)
+
+    def test_local_array(self):
+        b = ProgramBuilder()
+        with b.function("int", "f", ("int", "n")) as f:
+            f.declare_array("int", "buf", f.var("n"))
+            with f.for_loop("i", 0, f.var("n")) as i:
+                f.assign(f.index("buf", i), i * i)
+            f.ret(f.index("buf", f.var("n") - 1))
+        assert run_program(b.build(), "f", [5]).value == 16
+
+    def test_else_without_if_rejected(self):
+        b = ProgramBuilder()
+        with b.function("void", "f") as f:
+            with pytest.raises(ValueError):
+                with f.else_branch():
+                    pass
+            f.ret()
+        b.build()
+
+    def test_bad_expression_rejected(self):
+        b = ProgramBuilder()
+        with b.function("void", "f") as f:
+            with pytest.raises(TypeError):
+                f.assign("not-an-expr", 1)
+            f.ret()
+
+
+class TestBuilderDetection:
+    def test_built_reduction_detected(self):
+        b = ProgramBuilder()
+        with b.function("float", "total", ("float", "A[]"), ("int", "n")) as f:
+            s = f.declare("float", "s", 0.0)
+            with f.for_loop("i", 0, f.var("n")) as i:
+                f.add_assign(s, f.index("A", i))
+            f.ret(s)
+        program = b.build()
+        result = analyze(program, "total", [[np.ones(32), 32]])
+        assert summarize_patterns(result) == "Reduction"
+
+    def test_built_pipeline_detected(self):
+        b = ProgramBuilder()
+        with b.function(
+            "void", "stages", ("float", "A[]"), ("float", "B[]"), ("int", "n")
+        ) as f:
+            with f.for_loop("i", 0, f.var("n")) as i:
+                f.assign(f.index("A", i), i * 2.0)
+            with f.for_loop("j", 1, f.var("n")) as j:
+                f.assign(f.index("B", j), f.index("B", j - 1) + f.index("A", j))
+        program = b.build()
+        result = analyze(program, "stages", [[np.zeros(24), np.zeros(24), 24]])
+        assert summarize_patterns(result) == "Multi-loop pipeline"
+
+    def test_built_program_has_regions_and_ids(self):
+        b = ProgramBuilder()
+        with b.function("void", "f", ("int", "n")) as fb:
+            with fb.for_loop("i", 0, fb.var("n")):
+                pass
+        program = b.build()
+        assert any(r.kind == "loop" for r in program.regions.values())
+        assert program.source  # printable source attached

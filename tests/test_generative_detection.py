@@ -1,0 +1,109 @@
+"""Generative end-to-end property: classification agrees with execution.
+
+Random single-loop array programs are generated (element updates, scalar
+accumulations, recurrences, gathers).  For each, the detector classifies
+the loop; the classification is then *checked against reality*:
+
+* loops classified do-all must be reorder-stable (the replay oracle),
+* loops classified reduction must be shuffle-stable up to floating-point
+  reassociation with exact integer data,
+* every loop must classify without crashing, whatever the body.
+
+This is the strongest guarantee the suite makes: the static labels the
+tool hands a programmer never contradict observable program behaviour on
+the profiled input.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+from repro.patterns.doall import classify_loop
+from repro.profiling import profile_run
+from repro.runtime.replay import ReplayError, validate_doall
+
+# statement templates over arrays A (input), B (output), scalar s, index i
+_BODY_STMTS = (
+    "B[i] = A[i] * 2;",
+    "B[i] = A[i] + A[n - 1 - i];",  # gather: still do-all (A read-only)
+    "B[i] = B[i] + A[i];",
+    "s += A[i];",
+    "s = s + B[i];",
+    "B[i] = B[i] + s;",  # consumes the accumulator: order-sensitive
+    "B[i] = i * 3;",
+    "int t{k} = A[i] * 2; B[i] = t{k} + 1;",
+    "B[n - 1 - i] = A[i];",  # scatter to distinct cells: do-all
+)
+
+
+@st.composite
+def loop_programs(draw):
+    n_stmts = draw(st.integers(1, 3))
+    body = [
+        draw(st.sampled_from(_BODY_STMTS)).format(k=k) for k in range(n_stmts)
+    ]
+    body_text = "\n        ".join(body)
+    source = f"""\
+int f(int A[], int B[], int n) {{
+    int s = 0;
+    for (int i = 0; i < n; i++) {{
+        {body_text}
+    }}
+    return s;
+}}
+"""
+    return source
+
+
+def _setup(source):
+    program = parse_program(source)
+    validate_program(program)
+    n = 12
+    args = [np.arange(1, n + 1, dtype=np.int64), np.zeros(n, dtype=np.int64), n]
+    profile, _ = profile_run(program, "f", args)
+    loop = next(r.region_id for r in program.regions.values() if r.kind == "loop")
+    return program, profile, loop, args
+
+
+class TestClassificationAgreesWithExecution:
+    @given(loop_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_classification_never_crashes(self, source):
+        program, profile, loop, _ = _setup(source)
+        lc = classify_loop(program, profile, loop)
+        assert lc.classification is not None
+
+    @given(loop_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_doall_label_is_reorder_stable(self, source):
+        program, profile, loop, args = _setup(source)
+        lc = classify_loop(program, profile, loop)
+        if not lc.is_doall:
+            return
+        try:
+            assert validate_doall(program, "f", args, loop), source
+        except ReplayError:
+            pass  # non-canonical loops cannot be replayed; nothing to check
+
+    @given(loop_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_label_is_shuffle_stable_on_ints(self, source):
+        from repro.runtime import Interpreter
+        from repro.runtime.replay import results_equal, run_with_loop_order
+
+        program, profile, loop, args = _setup(source)
+        lc = classify_loop(program, profile, loop)
+        if not lc.is_reduction:
+            return
+        # integer addition is associative AND commutative: a true reduction
+        # must survive a shuffle exactly
+        serial = Interpreter(program).run("f", args)
+        try:
+            shuffled = run_with_loop_order(program, "f", args, loop, "shuffle", seed=3)
+        except ReplayError:
+            return
+        # arrays other than the accumulator must match exactly; the return
+        # value (the reduction) must match because the data is integral
+        assert results_equal(serial, shuffled, atol=0), source

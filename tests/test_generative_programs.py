@@ -1,0 +1,159 @@
+"""Generative property tests: random MiniC programs vs a Python oracle.
+
+A hypothesis strategy emits random structured programs (assignments,
+compound assignments, if/else, bounded for-loops over int variables) while
+building an equivalent Python source string.  Division is excluded so the
+two languages agree exactly on integer semantics.
+
+Checked properties:
+
+* the interpreter computes exactly what Python computes,
+* parse → print → parse is a fixed point,
+* attaching the profiler never changes results or costs,
+* profiling the same program twice yields identical profiles.
+"""
+
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+from repro.lang.validate import validate_program
+from repro.profiling import Profiler, profile_run
+from repro.runtime import Interpreter, run_program
+
+VARS = ["v0", "v1", "v2", "v3"]
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        choice = draw(st.integers(0, 1))
+        if choice == 0:
+            return str(draw(st.integers(-9, 9)))
+        return draw(st.sampled_from(VARS))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def conditions(draw):
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    left = draw(st.sampled_from(VARS))
+    right = draw(expressions(depth=1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def statements(draw, depth=0):
+    """Returns (minic_lines, python_lines)."""
+    kind = draw(st.integers(0, 5 if depth == 0 else 3))
+    if kind <= 1:  # plain assignment
+        var = draw(st.sampled_from(VARS))
+        expr = draw(expressions())
+        return [f"{var} = {expr};"], [f"{var} = {expr}"]
+    if kind == 2:  # compound assignment
+        var = draw(st.sampled_from(VARS))
+        op = draw(st.sampled_from(["+=", "-=", "*="]))
+        expr = draw(expressions())
+        return [f"{var} {op} {expr};"], [f"{var} {op} {expr}"]
+    if kind == 3:  # if/else
+        cond = draw(conditions())
+        then_m, then_p = draw(block(depth + 1))
+        else_m, else_p = draw(block(depth + 1))
+        minic = [f"if {cond} {{"] + _ind(then_m) + ["} else {"] + _ind(else_m) + ["}"]
+        python = [f"if {cond}:"] + _pind(then_p) + ["else:"] + _pind(else_p)
+        return minic, python
+    # bounded for loop
+    trips = draw(st.integers(1, 4))
+    ivar = f"i{depth}"
+    body_m, body_p = draw(block(depth + 1))
+    minic = [f"for (int {ivar} = 0; {ivar} < {trips}; {ivar}++) {{"] + _ind(
+        body_m
+    ) + ["}"]
+    python = [f"for {ivar} in range({trips}):"] + _pind(body_p)
+    return minic, python
+
+
+def _ind(lines):
+    return ["    " + line for line in lines]
+
+
+def _pind(lines):
+    return ["    " + line for line in (lines or ["pass"])]
+
+
+@st.composite
+def block(draw, depth=0):
+    n = draw(st.integers(1, 3))
+    minic: list[str] = []
+    python: list[str] = []
+    for _ in range(n):
+        m, p = draw(statements(depth=depth))
+        minic.extend(m)
+        python.extend(p)
+    return minic, python
+
+
+@st.composite
+def programs(draw):
+    body_m, body_p = draw(block())
+    decls_m = [f"int {v} = {i + 1};" for i, v in enumerate(VARS)]
+    decls_p = [f"{v} = {i + 1}" for i, v in enumerate(VARS)]
+    ret = "v0 + 2 * v1 + 3 * v2 - v3"
+    minic = "int main() {\n" + "\n".join(
+        _ind(decls_m + body_m + [f"return {ret};"])
+    ) + "\n}\n"
+    python = "\n".join(decls_p + body_p + [f"__result__ = {ret}"])
+    return minic, python
+
+
+def python_oracle(python_src: str) -> int:
+    scope: dict = {}
+    exec(textwrap.dedent(python_src), {}, scope)  # noqa: S102 - test oracle
+    return scope["__result__"]
+
+
+class TestAgainstOracle:
+    @given(programs())
+    @settings(max_examples=120, deadline=None)
+    def test_interpreter_matches_python(self, data):
+        minic, python = data
+        program = parse_program(minic)
+        validate_program(program)
+        result = run_program(program, "main", [])
+        assert result.value == python_oracle(python)
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_fixed_point(self, data):
+        minic, _ = data
+        once = format_program(parse_program(minic))
+        twice = format_program(parse_program(once))
+        assert once == twice
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_profiler_does_not_perturb_execution(self, data):
+        minic, _ = data
+        program = parse_program(minic)
+        plain = Interpreter(program).run("main", [])
+        profiler = Profiler()
+        profiled = Interpreter(program, sink=profiler).run("main", [])
+        assert plain.value == profiled.value
+        assert plain.total_cost == profiled.total_cost
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None)
+    def test_profiling_is_deterministic(self, data):
+        minic, _ = data
+        program = parse_program(minic)
+        p1, _ = profile_run(program, "main", [])
+        p2, _ = profile_run(program, "main", [])
+        assert p1.deps == p2.deps
+        assert p1.total_cost == p2.total_cost
+        assert p1.line_costs == p2.line_costs

@@ -1,0 +1,101 @@
+"""End-to-end integration: a composite application exercising several
+patterns at once, checked through the full public API surface."""
+
+import numpy as np
+import pytest
+
+from repro import analyze_source, analysis_report, summarize_patterns
+from repro.patterns.ranking import rank_patterns
+from repro.reporting.dot import cu_graph_dot, pet_dot
+from repro.runtime.replay import validate_doall
+from repro.sim import plan_and_simulate
+
+#: A miniature signal-processing app: normalize (do-all), smooth (do-all,
+#: 1-1 dependent on normalize -> pipeline/fusion candidates), then two
+#: independent statistics (task parallelism), each a reduction.
+SOURCE = """\
+float process(float raw[], float norm[], float smooth[], int n) {
+    for (int i = 0; i < n; i++) {
+        norm[i] = raw[i] / (fabs(raw[i]) + 1.0);
+    }
+    for (int j = 0; j < n; j++) {
+        smooth[j] = norm[j] * 0.5 + sqrt(norm[j] * norm[j] + 1.0);
+    }
+    float energy = 0.0;
+    for (int k = 0; k < n; k++) {
+        energy += smooth[k] * smooth[k];
+    }
+    float peak = 0.0;
+    for (int m = 0; m < n; m++) {
+        peak = max(peak, smooth[m]);
+    }
+    return energy + peak;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(21)
+    n = 128
+    return analyze_source(
+        SOURCE,
+        entry="process",
+        arg_sets=[[rng.random(n) - 0.5, np.zeros(n), np.zeros(n), n]],
+    )
+
+
+class TestComposite:
+    def test_every_loop_classified(self, result):
+        assert len(result.loop_classes) == 4
+        kinds = sorted(lc.classification.value for lc in result.loop_classes.values())
+        assert kinds.count("do-all") == 2
+        assert kinds.count("reduction") == 2
+
+    def test_fusion_found_between_the_sweeps(self, result):
+        assert result.fusions, "normalize+smooth should fuse"
+
+    def test_reduction_operators_inferred(self, result):
+        ops = {
+            c.operator
+            for lc in result.loop_classes.values()
+            for c in lc.reductions
+        }
+        assert {"+", "max"} <= ops
+
+    def test_primary_label(self, result):
+        assert summarize_patterns(result) == "Fusion"
+
+    def test_ranking_offers_alternatives(self, result):
+        labels = [o.label for o in rank_patterns(result)]
+        assert "Fusion" in labels
+        assert "Reduction" in labels
+
+    def test_simulated_speedup_positive(self, result):
+        outcome = plan_and_simulate(result)
+        assert outcome.best_speedup > 2.0
+
+    def test_report_renders_everything(self, result):
+        text = analysis_report(result)
+        assert "Fusion" in text or "fusion" in text
+        assert "Reduction in" in text
+        assert "Annotated source" in text
+
+    def test_dot_outputs_render(self, result):
+        assert pet_dot(result.profile.pet).startswith("digraph")
+        region = result.program.function("process").region_id
+        task = result.tasks[region]
+        assert cu_graph_dot(task).startswith("digraph")
+
+    def test_doall_claims_validated_empirically(self, result):
+        rng = np.random.default_rng(21)
+        n = 128
+        args = [rng.random(n) - 0.5, np.zeros(n), np.zeros(n), n]
+        for region, lc in result.loop_classes.items():
+            if lc.is_doall:
+                assert validate_doall(result.program, "process", args, region)
+
+    def test_hotspot_shares_consistent(self, result):
+        total = result.profile.total_cost
+        for h in result.hotspots:
+            assert 0 < h.inclusive_cost <= total

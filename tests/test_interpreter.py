@@ -1,0 +1,337 @@
+"""Interpreter semantics tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InterpreterError, StepLimitExceeded, ValidationError
+from repro.lang import parse_program
+from repro.lang.validate import validate_program
+from repro.runtime import run_program
+
+from conftest import parsed
+
+
+def run_expr(expr: str, **scalars):
+    """Evaluate an int expression in a tiny wrapper function."""
+    params = ", ".join(f"int {k}" for k in scalars)
+    prog = parsed(f"int f({params}) {{ return {expr}; }}")
+    return run_program(prog, "f", list(scalars.values())).value
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert run_expr("a + b * 2", a=3, b=4) == 11
+
+    def test_c_division_truncates_toward_zero(self):
+        assert run_expr("a / b", a=7, b=2) == 3
+        assert run_expr("a / b", a=-7, b=2) == -3
+        assert run_expr("a / b", a=7, b=-2) == -3
+
+    def test_c_modulo_sign(self):
+        assert run_expr("a % b", a=7, b=3) == 1
+        assert run_expr("a % b", a=-7, b=3) == -1
+
+    def test_comparisons_yield_int(self):
+        assert run_expr("(a < b) + (a == a)", a=1, b=2) == 2
+
+    def test_logical_short_circuit_and(self):
+        # (b != 0 && a / b > 0) must not divide when b == 0
+        assert run_expr("b != 0 && a / b > 0", a=4, b=0) == 0
+
+    def test_logical_short_circuit_or(self):
+        assert run_expr("b == 0 || a / b > 0", a=4, b=0) == 1
+
+    def test_unary(self):
+        assert run_expr("-a", a=5) == -5
+        assert run_expr("!a", a=0) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run_expr("a / b", a=1, b=0)
+
+    @given(st.integers(-1000, 1000), st.integers(1, 100))
+    def test_c_div_mod_identity(self, a, b):
+        q = run_expr("a / b", a=a, b=b)
+        r = run_expr("a % b", a=a, b=b)
+        assert q * b + r == a
+        assert abs(r) < b
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        prog = parsed("int f(int n) { if (n > 0) { return 1; } return -1; }")
+        assert run_program(prog, "f", [5]).value == 1
+        assert run_program(prog, "f", [-5]).value == -1
+
+    def test_for_loop_sum(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i++) {
+        s += i;
+    }
+    return s;
+}
+"""
+        )
+        assert run_program(prog, "f", [10]).value == 55
+
+    def test_while_loop(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int c = 0;
+    while (n > 1) {
+        n = n / 2;
+        c++;
+    }
+    return c;
+}
+"""
+        )
+        assert run_program(prog, "f", [1024]).value == 10
+
+    def test_break(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int i = 0;
+    for (i = 0; i < n; i++) {
+        if (i == 3) {
+            break;
+        }
+    }
+    return i;
+}
+"""
+        )
+        assert run_program(prog, "f", [100]).value == 3
+
+    def test_continue_still_steps(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) {
+            continue;
+        }
+        s += i;
+    }
+    return s;
+}
+"""
+        )
+        assert run_program(prog, "f", [10]).value == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loops(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            s += 1;
+        }
+    }
+    return s;
+}
+"""
+        )
+        assert run_program(prog, "f", [7]).value == 49
+
+    def test_step_limit(self):
+        prog = parsed("void f() { while (1) { int x = 0; } }")
+        with pytest.raises(StepLimitExceeded):
+            run_program(prog, "f", [], max_cost=10_000)
+
+
+class TestFunctions:
+    def test_recursion(self, fib_program):
+        assert run_program(fib_program, "fib", [12]).value == 144
+
+    def test_mutual_recursion(self):
+        prog = parsed(
+            """\
+int is_odd(int n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+int is_even(int n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+"""
+        )
+        assert run_program(prog, "is_even", [10]).value == 1
+        assert run_program(prog, "is_odd", [10]).value == 0
+
+    def test_by_value_semantics(self):
+        prog = parsed(
+            """\
+void bump(int x) { x = x + 1; }
+int f(int x) { bump(x); return x; }
+"""
+        )
+        assert run_program(prog, "f", [1]).value == 1
+
+    def test_by_reference_semantics(self):
+        prog = parsed(
+            """\
+void bump(int &x) { x = x + 1; }
+int f(int x) { int y = x; bump(y); return y; }
+"""
+        )
+        assert run_program(prog, "f", [1]).value == 2
+
+    def test_intrinsics(self):
+        prog = parsed("float f(float x) { return sqrt(x) + fabs(0.0 - 2.0); }")
+        assert run_program(prog, "f", [9.0]).value == pytest.approx(5.0)
+
+    def test_intrinsic_domain_error(self):
+        prog = parsed("float f(float x) { return sqrt(x); }")
+        with pytest.raises(InterpreterError):
+            run_program(prog, "f", [-1.0])
+
+
+class TestArrays:
+    def test_array_argument_roundtrip(self):
+        prog = parsed(
+            """\
+void scale(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = A[i] * 2.0;
+    }
+}
+"""
+        )
+        result = run_program(prog, "scale", [np.arange(5.0), 5])
+        assert np.allclose(result.arrays["A"], [0, 2, 4, 6, 8])
+
+    def test_2d_row_major(self):
+        prog = parsed(
+            """\
+void fill(int M[][], int r, int c) {
+    for (int i = 0; i < r; i++) {
+        for (int j = 0; j < c; j++) {
+            M[i][j] = i * 100 + j;
+        }
+    }
+}
+"""
+        )
+        result = run_program(prog, "fill", [np.zeros((3, 4), dtype=np.int64), 3, 4])
+        assert result.arrays["M"][2][3] == 203
+
+    def test_local_array(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int buf[16];
+    for (int i = 0; i < n; i++) {
+        buf[i] = i * i;
+    }
+    return buf[n - 1];
+}
+"""
+        )
+        assert run_program(prog, "f", [10]).value == 81
+
+    def test_out_of_bounds_raises(self):
+        prog = parsed("int f(float A[]) { return toint(A[99]); }")
+        with pytest.raises(InterpreterError):
+            run_program(prog, "f", [np.zeros(4)])
+
+    def test_global_array_shared_across_calls(self):
+        prog = parsed(
+            """\
+int slots[8];
+void put(int i, int v) { slots[i] = v; }
+int get(int i) { return slots[i]; }
+int f() { put(3, 42); return get(3); }
+"""
+        )
+        assert run_program(prog, "f", []).value == 42
+
+    def test_int_array_stays_int(self):
+        prog = parsed(
+            """\
+int f(int A[]) {
+    A[0] = 7 / 2;
+    return A[0];
+}
+"""
+        )
+        result = run_program(prog, "f", [np.zeros(2, dtype=np.int64)])
+        assert result.value == 3
+
+
+class TestGlobals:
+    def test_global_init_expression(self):
+        prog = parsed("int g = 3 * 4 + 1;\nint f() { return g; }")
+        assert run_program(prog, "f", []).value == 13
+
+    def test_global_mutation_visible(self):
+        prog = parsed(
+            """\
+int counter = 0;
+void tick() { counter++; }
+int f(int n) {
+    for (int i = 0; i < n; i++) { tick(); }
+    return counter;
+}
+"""
+        )
+        result = run_program(prog, "f", [5])
+        assert result.value == 5
+        assert result.globals["counter"] == 5
+
+
+class TestValidation:
+    def test_undeclared_variable(self):
+        with pytest.raises(ValidationError):
+            parsed("void f() { x = 1; }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValidationError):
+            parsed("void g(int a) { }\nvoid f() { g(1, 2); }")
+
+    def test_indexing_scalar(self):
+        with pytest.raises(ValidationError):
+            parsed("void f(int n) { n[0] = 1; }")
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValidationError):
+            parsed("void f(float A[][]) { A[0] = 1.0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(ValidationError):
+            parsed("void f() { break; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(ValidationError):
+            parsed("void f() { nope(); }")
+
+    def test_shadowing_intrinsic(self):
+        with pytest.raises(ValidationError):
+            parsed("float sqrt(float x) { return x; }")
+
+
+class TestDeterminism:
+    @given(st.integers(0, 12))
+    def test_same_input_same_result_and_cost(self, n):
+        prog = parsed(
+            """\
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+"""
+        )
+        r1 = run_program(prog, "fib", [n])
+        r2 = run_program(prog, "fib", [n])
+        assert r1.value == r2.value
+        assert r1.total_cost == r2.total_cost

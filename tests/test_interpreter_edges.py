@@ -1,0 +1,186 @@
+"""Interpreter edge cases beyond the core semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError
+from repro.runtime import run_program
+
+from conftest import parsed
+
+
+class TestControlFlowEdges:
+    def test_continue_in_while_still_advances(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int i = 0;
+    int s = 0;
+    while (i < n) {
+        i++;
+        if (i % 2 == 0) {
+            continue;
+        }
+        s += i;
+    }
+    return s;
+}
+"""
+        )
+        assert run_program(prog, "f", [10]).value == 1 + 3 + 5 + 7 + 9
+
+    def test_break_only_exits_innermost(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            if (j == 1) {
+                break;
+            }
+            s += 1;
+        }
+    }
+    return s;
+}
+"""
+        )
+        assert run_program(prog, "f", [5]).value == 5
+
+    def test_return_from_nested_loop(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            if (i * j == 6) {
+                return i * 10 + j;
+            }
+        }
+    }
+    return -1;
+}
+"""
+        )
+        assert run_program(prog, "f", [5]).value == 23
+
+    def test_zero_trip_loop(self):
+        prog = parsed(
+            "int f(int n) { int s = 5; for (int i = 0; i < n; i++) { s = 0; } return s; }"
+        )
+        assert run_program(prog, "f", [0]).value == 5
+
+    def test_void_function_returns_none(self):
+        prog = parsed("void f(int n) { n = n + 1; }")
+        assert run_program(prog, "f", [1]).value is None
+
+    def test_missing_return_yields_none(self):
+        prog = parsed("int f(int n) { if (n > 0) { return 1; } }")
+        assert run_program(prog, "f", [-1]).value is None
+
+
+class TestCoercions:
+    def test_int_decl_truncates_float_init(self):
+        prog = parsed("int f() { int x = toint(7.9); return x; }")
+        assert run_program(prog, "f", []).value == 7
+
+    def test_int_slot_keeps_int_after_compound_float(self):
+        prog = parsed("int f(int x) { x += toint(1.5); return x; }")
+        assert run_program(prog, "f", [1]).value == 2
+
+    def test_mixed_arithmetic_promotes(self):
+        prog = parsed("float f(int a) { return a / 2.0; }")
+        assert run_program(prog, "f", [7]).value == pytest.approx(3.5)
+
+    def test_logical_ops_yield_ints(self):
+        prog = parsed("int f(int a, int b) { return (a && b) + (a || b); }")
+        assert run_program(prog, "f", [3, 0]).value == 1
+
+
+class TestArgumentHandling:
+    def test_wrong_arity(self):
+        prog = parsed("int f(int a, int b) { return a + b; }")
+        with pytest.raises(InterpreterError):
+            run_program(prog, "f", [1])
+
+    def test_unknown_entry(self):
+        prog = parsed("int f() { return 1; }")
+        with pytest.raises(InterpreterError):
+            run_program(prog, "nope", [])
+
+    def test_wrong_array_rank(self):
+        prog = parsed("void f(float A[][]) { A[0][0] = 1.0; }")
+        with pytest.raises(InterpreterError):
+            run_program(prog, "f", [np.zeros(4)])
+
+    def test_list_arguments_accepted(self):
+        prog = parsed(
+            "float f(float A[], int n) { return A[n - 1]; }"
+        )
+        assert run_program(prog, "f", [[1.0, 2.0, 3.0], 3]).value == 3.0
+
+    def test_nested_list_arguments(self):
+        prog = parsed("int f(int M[][]) { return M[1][1]; }")
+        assert run_program(prog, "f", [[[1, 2], [3, 4]]]).value == 4
+
+    def test_ref_scalar_result_surfaced(self):
+        prog = parsed("void f(int &out, int v) { out = v * 3; }")
+        result = run_program(prog, "f", [0, 14])
+        assert result.scalars["out"] == 42
+
+    def test_array_expression_argument_rejected(self):
+        prog = parsed(
+            """\
+void g(float A[]) { A[0] = 1.0; }
+void f(float A[], int n) { g(A); }
+"""
+        )
+        # fine: named array passes; the error case is a non-name expression
+        bad = parsed(
+            """\
+void g(float A[]) { A[0] = 1.0; }
+void f(float A[], int n) { n = n; }
+"""
+        )
+        assert run_program(prog, "f", [np.zeros(2), 2]).value is None
+
+
+class TestDeepRecursion:
+    def test_thousand_deep_recursion(self):
+        prog = parsed(
+            "int f(int n) { if (n == 0) { return 0; } return 1 + f(n - 1); }"
+        )
+        assert run_program(prog, "f", [1000]).value == 1000
+
+
+class TestDynamicArrays:
+    def test_runtime_sized_local_array(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int buf[n * 2];
+    for (int i = 0; i < n * 2; i++) {
+        buf[i] = i;
+    }
+    return buf[n];
+}
+"""
+        )
+        assert run_program(prog, "f", [5]).value == 5
+
+    def test_recursive_local_arrays_are_distinct(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int buf[4];
+    buf[0] = n;
+    if (n > 0) {
+        int ignored = f(n - 1);
+        ignored = ignored + 0;
+    }
+    return buf[0];
+}
+"""
+        )
+        assert run_program(prog, "f", [3]).value == 3

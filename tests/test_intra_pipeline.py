@@ -1,0 +1,122 @@
+"""Intra-loop pipeline detection tests (DSWP-style extension)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.intra_pipeline import detect_intra_loop_pipeline
+from repro.profiling import profile_run
+
+from conftest import parsed
+
+
+def detect(src, entry, args, which=0):
+    prog = parsed(src)
+    profile, _ = profile_run(prog, entry, args)
+    loops = [r.region_id for r in prog.regions.values() if r.kind == "loop"]
+    return detect_intra_loop_pipeline(prog, profile, loops[which])
+
+
+class TestDetection:
+    def test_two_stage_sequential_loop(self):
+        # stage 1: sequential accumulation into state; stage 2: heavy output
+        pipe = detect(
+            """\
+void f(float A[], float B[], float &acc, int n) {
+    for (int i = 0; i < n; i++) {
+        acc = acc * 0.9 + A[i];
+        B[i] = acc * acc + sqrt(acc * acc + 1.0);
+    }
+}
+""",
+            "f",
+            [np.ones(20), np.zeros(20), 0.0, 20],
+        )
+        assert pipe is not None
+        assert pipe.n_stages == 2
+        assert pipe.estimated_speedup > 1.2
+
+    def test_stage_order_respects_dataflow(self):
+        pipe = detect(
+            """\
+void f(float A[], float B[], float C[], float &s, int n) {
+    for (int i = 0; i < n; i++) {
+        s = s + A[i];
+        B[i] = s * 2.0;
+        C[i] = B[i] + sqrt(B[i] + 1.0);
+    }
+}
+""",
+            "f",
+            [np.ones(16), np.zeros(16), np.zeros(16), 0.0, 16],
+        )
+        assert pipe is not None
+        assert pipe.n_stages >= 2
+        # the accumulator stage comes first
+        first_stage_cus = {pipe.cus[c].writes and c for c in pipe.stages[0]}
+        assert first_stage_cus
+
+    def test_backward_carried_dependence_rejected(self):
+        # the late stage writes state the early stage reads next iteration
+        pipe = detect(
+            """\
+void f(float A[], float B[], float &s, float &t, int n) {
+    for (int i = 0; i < n; i++) {
+        s = s + A[i] * t;
+        t = s * 0.5 + B[i];
+    }
+}
+""",
+            "f",
+            [np.ones(16), np.ones(16), 0.0, 1.0, 16],
+        )
+        assert pipe is None
+
+    def test_single_cu_body_rejected(self):
+        pipe = detect(
+            "void f(float A[], int n) { for (int i = 1; i < n; i++) { A[i] = A[i-1] + 1.0; } }",
+            "f",
+            [np.zeros(16), 16],
+        )
+        assert pipe is None
+
+    def test_dominant_stage_rejected(self):
+        # 99% of the work in one stage: nothing to pipeline
+        pipe = detect(
+            """\
+void f(float A[], float B[], float &s, int n) {
+    for (int i = 0; i < n; i++) {
+        s = s + 1.0;
+        float acc = 0.0;
+        for (int k = 0; k < 50; k++) {
+            acc += A[i] * k + sqrt(A[i] + k + 1.0);
+        }
+        B[i] = acc + s;
+    }
+}
+""",
+            "f",
+            [np.ones(12), np.zeros(12), 0.0, 12],
+        )
+        assert pipe is None
+
+    def test_non_loop_region_rejected(self):
+        prog = parsed("int f() { return 1; }")
+        profile, _ = profile_run(prog, "f", [])
+        assert detect_intra_loop_pipeline(prog, profile, prog.function("f").region_id) is None
+
+    def test_forward_carried_dependence_tolerated(self):
+        # stage 1 writes A[i] read by stage 2 at i-1 next iteration: forward
+        pipe = detect(
+            """\
+void f(float A[], float B[], float &s, int n) {
+    for (int i = 1; i < n; i++) {
+        s = s * 0.5 + i;
+        B[i] = s + B[i - 1] * 0.25 + sqrt(s + 1.0);
+    }
+}
+""",
+            "f",
+            [np.zeros(16), np.zeros(16), 0.0, 16],
+        )
+        # B's recurrence stays within the late stage: still a pipeline
+        assert pipe is not None

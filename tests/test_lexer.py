@@ -1,0 +1,131 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def kinds(src):
+    return [(t.type, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].type is TokenType.EOF
+
+    def test_identifier(self):
+        assert kinds("foo_bar1") == [(TokenType.IDENT, "foo_bar1")]
+
+    def test_keyword_vs_identifier(self):
+        assert kinds("int inty")[0] == (TokenType.KEYWORD, "int")
+        assert kinds("int inty")[1] == (TokenType.IDENT, "inty")
+
+    def test_int_literal(self):
+        assert kinds("42") == [(TokenType.INT_LIT, "42")]
+
+    def test_float_literal(self):
+        assert kinds("3.75") == [(TokenType.FLOAT_LIT, "3.75")]
+
+    def test_float_exponent(self):
+        assert kinds("1e3")[0][0] is TokenType.FLOAT_LIT
+        assert kinds("2.5e-4")[0][0] is TokenType.FLOAT_LIT
+
+    def test_all_keywords_tokenize_as_keywords(self):
+        for kw in ("int", "float", "void", "if", "else", "for", "while",
+                   "return", "break", "continue"):
+            assert kinds(kw) == [(TokenType.KEYWORD, kw)]
+
+    def test_multichar_operators_win_over_single(self):
+        assert kinds("<=") == [(TokenType.OP, "<=")]
+        assert kinds("==") == [(TokenType.OP, "==")]
+        assert kinds("+=") == [(TokenType.OP, "+=")]
+        assert kinds("++") == [(TokenType.OP, "++")]
+        assert kinds("&&") == [(TokenType.OP, "&&")]
+
+    def test_adjacent_operators(self):
+        assert kinds("a<=b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OP, "<="),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_punctuation(self):
+        assert [k for k, _ in kinds("(){}[];,")] == [TokenType.PUNCT] * 8
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x */ b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_multiline_block_comment_tracks_lines(self):
+        toks = tokenize("a /* one\ntwo\nthree */ b")
+        assert toks[1].line == 3
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        toks = tokenize("ab cd")
+        assert toks[0].col == 1
+        assert toks[1].col == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_bad_numeric_literal(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+    def test_error_carries_line(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n@")
+        assert exc.value.line == 2
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_integer_roundtrip(self, value):
+        toks = tokenize(str(value))
+        assert toks[0].type is TokenType.INT_LIT
+        assert int(toks[0].text) == value
+
+    @given(
+        st.floats(
+            min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
+        )
+    )
+    def test_float_roundtrip(self, value):
+        toks = tokenize(repr(value))
+        assert toks[0].type in (TokenType.FLOAT_LIT, TokenType.INT_LIT)
+        assert float(toks[0].text) == pytest.approx(value)
+
+    @given(st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,20}", fullmatch=True))
+    def test_identifier_roundtrip(self, name):
+        toks = tokenize(name)
+        assert len(toks) == 2
+        assert toks[0].text == name

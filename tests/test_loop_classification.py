@@ -1,0 +1,172 @@
+"""Loop classification tests: do-all / reduction / sequential."""
+
+import numpy as np
+
+from repro.patterns.doall import classify_loop
+from repro.patterns.result import LoopClassification
+from repro.profiling import profile_run
+
+from conftest import parsed
+
+
+def classify(src, entry, args, which=0, **kw):
+    prog = parsed(src)
+    profile, _ = profile_run(prog, entry, args)
+    loops = [r.region_id for r in prog.regions.values() if r.kind == "loop"]
+    return classify_loop(prog, profile, loops[which], **kw)
+
+
+class TestDoAll:
+    def test_elementwise_loop(self):
+        lc = classify(
+            "void f(float A[], int n) { for (int i = 0; i < n; i++) { A[i] = i * 2.0; } }",
+            "f",
+            [np.zeros(8), 8],
+        )
+        assert lc.classification is LoopClassification.DOALL
+
+    def test_induction_variable_excluded(self):
+        lc = classify(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s = i; } return s; }",
+            "f",
+            [8],
+        )
+        # s is overwritten each iteration but never read across: WAW only,
+        # and s is privatizable (written before read)
+        assert lc.classification is LoopClassification.DOALL
+
+    def test_privatizable_temp_ok(self):
+        lc = classify(
+            """\
+void f(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        float t = A[i] * 2.0;
+        A[i] = t + 1.0;
+    }
+}
+""",
+            "f",
+            [np.ones(8), 8],
+        )
+        assert lc.classification is LoopClassification.DOALL
+        assert "t" in lc.privatizable
+
+    def test_nested_loop_induction_excluded(self):
+        lc = classify(
+            """\
+void f(float A[][], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            A[i][j] = i * 10.0 + j;
+        }
+    }
+}
+""",
+            "f",
+            [np.zeros((5, 5)), 5],
+            which=0,
+        )
+        assert lc.classification is LoopClassification.DOALL
+
+
+class TestReduction:
+    def test_scalar_accumulator(self):
+        lc = classify(
+            """\
+float f(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+""",
+            "f",
+            [np.ones(8), 8],
+        )
+        assert lc.classification is LoopClassification.REDUCTION
+        assert [c.var for c in lc.reductions] == ["s"]
+
+    def test_two_accumulators(self):
+        lc = classify(
+            """\
+float f(float A[], int n) {
+    float s = 0.0;
+    float p = 1.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+        p *= A[i];
+    }
+    return s + p;
+}
+""",
+            "f",
+            [np.ones(8) * 1.1, 8],
+        )
+        assert lc.classification is LoopClassification.REDUCTION
+        assert {c.var for c in lc.reductions} == {"s", "p"}
+
+    def test_accumulator_plus_real_dependence_is_sequential(self):
+        lc = classify(
+            """\
+float f(float A[], int n) {
+    float s = 0.0;
+    for (int i = 1; i < n; i++) {
+        s += A[i];
+        A[i] = A[i - 1] * 0.5;
+    }
+    return s;
+}
+""",
+            "f",
+            [np.ones(8), 8],
+        )
+        assert lc.classification is LoopClassification.SEQUENTIAL
+
+
+class TestSequential:
+    def test_recurrence(self):
+        lc = classify(
+            "void f(float A[], int n) { for (int i = 1; i < n; i++) { A[i] = A[i - 1] + 1.0; } }",
+            "f",
+            [np.zeros(8), 8],
+        )
+        assert lc.classification is LoopClassification.SEQUENTIAL
+        assert "A" in lc.blocking_vars
+
+    def test_read_first_scalar_blocks(self):
+        lc = classify(
+            """\
+float f(float A[], int n) {
+    float last = 0.0;
+    for (int i = 0; i < n; i++) {
+        A[i] = A[i] + last;
+        last = A[i];
+    }
+    return last;
+}
+""",
+            "f",
+            [np.ones(8), 8],
+        )
+        assert lc.classification is LoopClassification.SEQUENTIAL
+
+
+class TestPrivatizationAblation:
+    SRC = """\
+void f(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        float t = A[i] * 2.0;
+        A[i] = t + 1.0;
+    }
+}
+"""
+
+    def test_without_privatization_temp_blocks(self):
+        lc = classify(self.SRC, "f", [np.ones(8), 8], use_privatization=False)
+        assert lc.classification is LoopClassification.SEQUENTIAL
+        assert "t" in lc.blocking_vars
+
+    def test_with_privatization_clean(self):
+        lc = classify(self.SRC, "f", [np.ones(8), 8], use_privatization=True)
+        assert lc.is_doall

@@ -1,0 +1,205 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import parse_program
+from repro.lang.ast_nodes import (
+    ArrayLV,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    For,
+    If,
+    IntLit,
+    Return,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+
+def body_of(src, func="f"):
+    return parse_program(src).function(func).body
+
+
+class TestTopLevel:
+    def test_global_scalar(self):
+        prog = parse_program("int g = 3;")
+        assert prog.globals[0].name == "g"
+        assert prog.globals[0].init.value == 3
+
+    def test_global_array(self):
+        prog = parse_program("float A[10][20];")
+        g = prog.globals[0]
+        assert [d.value for d in g.dims] == [10, 20]
+
+    def test_function_signature(self):
+        prog = parse_program("int f(int a, float b) { return a; }")
+        f = prog.function("f")
+        assert f.ret_type == "int"
+        assert [(p.type, p.name) for p in f.params] == [("int", "a"), ("float", "b")]
+
+    def test_array_parameter_rank(self):
+        prog = parse_program("void f(float A[][], int n) { }")
+        assert prog.function("f").params[0].array_rank == 2
+
+    def test_reference_parameter(self):
+        prog = parse_program("void f(int &acc) { acc = 1; }")
+        assert prog.function("f").params[0].by_ref
+
+    def test_reference_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f(int &A[]) { }")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        stmt = body_of("void f() { int x = 1 + 2; }")[0]
+        assert isinstance(stmt, VarDecl)
+        assert isinstance(stmt.init, BinOp)
+
+    def test_if_else(self):
+        stmt = body_of("void f(int n) { if (n > 0) { n = 1; } else { n = 2; } }")[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_else_if_chain(self):
+        stmt = body_of(
+            "void f(int n) { if (n > 0) { n = 1; } else if (n < 0) { n = 2; } }"
+        )[0]
+        assert isinstance(stmt.else_body[0], If)
+
+    def test_for_loop_parts(self):
+        stmt = body_of("void f(int n) { for (int i = 0; i < n; i++) { n = n; } }")[0]
+        assert isinstance(stmt, For)
+        assert isinstance(stmt.init, VarDecl)
+        assert isinstance(stmt.step, Assign)
+        assert stmt.step.op == "+="
+
+    def test_for_induction_vars(self):
+        stmt = body_of("void f(int n) { for (int i = 0; i < n; i++) { n = n; } }")[0]
+        assert stmt.induction_vars == frozenset({"i"})
+
+    def test_while_loop(self):
+        stmt = body_of("void f(int n) { while (n > 0) { n = n - 1; } }")[0]
+        assert isinstance(stmt, While)
+
+    def test_unbraced_bodies(self):
+        stmt = body_of("void f(int n) { if (n) n = 1; else n = 2; }")[0]
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_compound_assignment(self):
+        stmt = body_of("void f(int n) { n *= 3; }")[0]
+        assert stmt.op == "*="
+
+    def test_increment_sugar(self):
+        stmt = body_of("void f(int n) { n++; }")[0]
+        assert stmt.op == "+=" and stmt.value.value == 1
+
+    def test_array_assignment(self):
+        stmt = body_of("void f(float A[][]) { A[1][2] = 3.0; }")[0]
+        assert isinstance(stmt.target, ArrayLV)
+        assert len(stmt.target.indices) == 2
+
+    def test_call_statement(self):
+        stmt = body_of("void g() { } void f() { g(); }")[0]
+        assert isinstance(stmt.expr, Call)
+
+    def test_return_void(self):
+        stmt = body_of("void f() { return; }")[0]
+        assert isinstance(stmt, Return) and stmt.value is None
+
+
+class TestExpressions:
+    def expr(self, text):
+        return body_of(f"void f(int a, int b, int c) {{ a = {text}; }}")[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_compare_over_and(self):
+        e = self.expr("a < b && b < c")
+        assert e.op == "&&"
+
+    def test_parentheses(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_unary_minus(self):
+        e = self.expr("-a + b")
+        assert e.op == "+"
+        assert isinstance(e.left, UnaryOp)
+
+    def test_unary_not(self):
+        e = self.expr("!a")
+        assert isinstance(e, UnaryOp) and e.op == "!"
+
+    def test_call_with_args(self):
+        e = self.expr("max(a, b + 1)")
+        assert isinstance(e, Call) and len(e.args) == 2
+
+    def test_array_index_expression(self):
+        src = "void f(float A[], int i) { float x = A[i + 1]; }"
+        decl = body_of(src)[0]
+        assert isinstance(decl.init, ArrayRef)
+
+    def test_left_associativity(self):
+        e = self.expr("a - b - c")
+        assert e.op == "-"
+        assert e.left.op == "-"
+        assert isinstance(e.right, VarRef)
+
+
+class TestIds:
+    def test_regions_assigned(self):
+        prog = parse_program(
+            "void f(int n) { for (int i = 0; i < n; i++) { while (n) { n = 0; } } }"
+        )
+        kinds = [r.kind for r in prog.regions.values()]
+        assert kinds.count("function") == 1
+        assert kinds.count("loop") == 2
+
+    def test_loop_region_parents(self):
+        prog = parse_program(
+            "void f(int n) { for (int i = 0; i < n; i++) { while (n) { n = 0; } } }"
+        )
+        loops = [r for r in prog.regions.values() if r.kind == "loop"]
+        outer = next(l for l in loops if l.name.startswith("for"))
+        inner = next(l for l in loops if l.name.startswith("while"))
+        assert inner.parent == outer.region_id
+        assert outer.parent == prog.function("f").region_id
+
+    def test_stmt_ids_unique(self):
+        prog = parse_program("void f(int n) { n = 1; n = 2; if (n) { n = 3; } }")
+        ids = list(prog.stmts.keys())
+        assert len(ids) == len(set(ids))
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { int x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { int x = 1;")
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("x = 1;")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("void f() {\n  int x = ;\n}")
+        assert exc.value.line == 2
+
+    def test_array_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { int A[3] = 1; }")

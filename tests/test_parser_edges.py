@@ -1,0 +1,90 @@
+"""Parser edge cases and DOT escaping."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.parser import parse_program
+from repro.reporting.dot import _esc
+
+
+class TestParserEdges:
+    def test_empty_program(self):
+        prog = parse_program("")
+        assert prog.functions == [] and prog.globals == []
+
+    def test_comment_only_program(self):
+        prog = parse_program("// nothing here\n/* at all */\n")
+        assert prog.functions == []
+
+    def test_empty_for_clauses(self):
+        prog = parse_program("void f() { for (;;) { break; } }")
+        loop = prog.function("f").body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_for_with_assignment_init(self):
+        prog = parse_program("void f(int i, int n) { for (i = 0; i < n; i++) { } }")
+        loop = prog.function("f").body[0]
+        assert loop.induction_vars == frozenset({"i"})
+
+    def test_deeply_nested_expression(self):
+        depth = 40
+        expr = "1" + " + 1" * depth
+        prog = parse_program(f"int f() {{ return {expr}; }}")
+        assert prog.has_function("f")
+
+    def test_deeply_nested_parens(self):
+        expr = "(" * 30 + "5" + ")" * 30
+        prog = parse_program(f"int f() {{ return {expr}; }}")
+        assert prog.has_function("f")
+
+    def test_unary_plus_absorbed(self):
+        prog = parse_program("int f(int a) { return +a; }")
+        stmt = prog.function("f").body[0]
+        from repro.lang.ast_nodes import VarRef
+
+        assert isinstance(stmt.value, VarRef)
+
+    def test_decrement_sugar(self):
+        prog = parse_program("void f(int n) { n--; }")
+        stmt = prog.function("f").body[0]
+        assert stmt.op == "-="
+
+    def test_chained_else_if_depth(self):
+        src = "void f(int n) {\n"
+        src += "if (n == 0) { n = 0; }\n"
+        for i in range(1, 8):
+            src += f"else if (n == {i}) {{ n = {i}; }}\n"
+        src += "}"
+        prog = parse_program(src)
+        # the chain nests: each else body holds the next if
+        stmt = prog.function("f").body[0]
+        depth = 0
+        while stmt.else_body:
+            stmt = stmt.else_body[0]
+            depth += 1
+        assert depth == 7
+
+    def test_call_statement_with_no_args(self):
+        prog = parse_program("void g() { }\nvoid f() { g(); }")
+        assert prog.has_function("f")
+
+    def test_missing_paren_reports_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("void f() {\n  if (1 { }\n}")
+        assert exc.value.line == 2
+
+    def test_assignment_in_condition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f(int n) { if (n = 1) { } }")
+
+    def test_trailing_garbage_after_function(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { } garbage")
+
+
+class TestDotEscaping:
+    def test_quotes_escaped(self):
+        assert _esc('say "hi"') == 'say \\"hi\\"'
+
+    def test_plain_text_unchanged(self):
+        assert _esc("plain") == "plain"

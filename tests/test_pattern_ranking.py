@@ -1,0 +1,82 @@
+"""Pattern-ranking metric tests (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.bench_programs import analyze_benchmark
+from repro.patterns.engine import analyze, summarize_patterns
+from repro.patterns.ranking import PatternOption, rank_patterns
+
+from conftest import parsed
+
+
+class TestRanking:
+    def test_multi_pattern_program_lists_all(self):
+        # a reduction loop is also inside hotspot do-all territory
+        src = """\
+float f(float A[], float B[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0 + sqrt(A[i] + 1.0);
+    }
+    for (int j = 0; j < n; j++) {
+        s += B[j];
+    }
+    return s;
+}
+"""
+        prog = parsed(src)
+        result = analyze(prog, "f", [[np.ones(64), np.zeros(64), 64]])
+        options = rank_patterns(result)
+        labels = {o.label for o in options}
+        assert "Reduction" in labels
+        assert "Do-all" in labels or "Multi-loop pipeline" in labels
+        assert len(options) >= 2
+
+    def test_sorted_by_benefit_per_effort(self):
+        result = analyze_benchmark("2mm")
+        options = rank_patterns(result)
+        ratios = [o.benefit_per_effort for o in options]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_speedups_match_simulator(self):
+        from repro.sim import plan_and_simulate
+
+        result = analyze_benchmark("reg_detect")
+        primary = summarize_patterns(result)
+        outcome = plan_and_simulate(result, thread_counts=(1, 2, 4, 8, 16, 32))
+        options = {o.label: o for o in rank_patterns(result)}
+        assert primary in options
+        assert options[primary].best_speedup == pytest.approx(
+            outcome.best_speedup, rel=0.01
+        )
+
+    def test_effort_reflects_structure(self):
+        result = analyze_benchmark("reg_detect")
+        options = {o.label: o for o in rank_patterns(result)}
+        if "Multi-loop pipeline" in options and "Do-all" in options:
+            assert options["Multi-loop pipeline"].effort > options["Do-all"].effort
+
+    def test_supporting_structures_attached(self):
+        result = analyze_benchmark("fib")
+        for option in rank_patterns(result):
+            assert option.supporting_structure in ("Master/worker", "SPMD", "?")
+
+    def test_lines_touched_positive(self):
+        result = analyze_benchmark("mvt")
+        for option in rank_patterns(result):
+            assert option.lines_touched > 0
+
+    def test_sequential_program_has_no_options(self):
+        prog = parsed(
+            "void f(float A[], int n) { for (int i = 1; i < n; i++) { A[i] = A[i-1] + 1.0; } }"
+        )
+        result = analyze(prog, "f", [[np.zeros(32), 32]])
+        assert rank_patterns(result) == []
+
+    def test_kmeans_prefers_geometric_decomposition(self):
+        result = analyze_benchmark("kmeans")
+        options = rank_patterns(result)
+        assert options, "kmeans must have at least one option"
+        labels = [o.label for o in options]
+        assert "Geometric decomposition" in labels

@@ -1,0 +1,105 @@
+"""Printer tests: parse → print → parse must preserve structure."""
+
+from dataclasses import fields, is_dataclass
+
+from repro.lang import format_program, parse_program
+
+SAMPLES = [
+    "int g = 4;\nvoid f() { g = g + 1; }",
+    """\
+float dot(float A[], float B[], int n) {
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        acc += A[i] * B[i];
+    }
+    return acc;
+}
+""",
+    """\
+void grid(float C[][], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            if (i == j) {
+                C[i][j] = 1.0;
+            } else {
+                C[i][j] = 0.0;
+            }
+        }
+    }
+}
+""",
+    """\
+int collatz(int n) {
+    int steps = 0;
+    while (n > 1) {
+        if (n % 2 == 0) {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps++;
+    }
+    return steps;
+}
+""",
+    """\
+int fact(int n) {
+    if (n <= 1) {
+        return 1;
+    }
+    return n * fact(n - 1);
+}
+""",
+    """\
+void control(int n) {
+    for (int i = 0; i < n; i++) {
+        if (i == 3) {
+            continue;
+        }
+        if (i == 7) {
+            break;
+        }
+    }
+}
+""",
+    "void refs(int &acc, float A[]) { acc = acc + toint(A[0]); }",
+]
+
+_IGNORED = {"line", "stmt_id", "region_id", "source", "regions", "stmts"}
+
+
+def structural(node):
+    """Recursively convert an AST to a structure-only representation."""
+    if is_dataclass(node):
+        out = {"__type__": type(node).__name__}
+        for f in fields(node):
+            if f.name in _IGNORED:
+                continue
+            out[f.name] = structural(getattr(node, f.name))
+        return out
+    if isinstance(node, (list, tuple)):
+        return [structural(x) for x in node]
+    if isinstance(node, frozenset):
+        return sorted(node)
+    return node
+
+
+class TestRoundTrip:
+    def test_samples_roundtrip(self):
+        for src in SAMPLES:
+            first = parse_program(src)
+            printed = format_program(first)
+            second = parse_program(printed)
+            assert structural(first) == structural(second), printed
+
+    def test_double_print_is_fixed_point(self):
+        for src in SAMPLES:
+            once = format_program(parse_program(src))
+            twice = format_program(parse_program(once))
+            assert once == twice
+
+    def test_annotations_emitted(self):
+        prog = parse_program("void f(int n) { n = 1; }")
+        stmt = prog.function("f").body[0]
+        out = format_program(prog, annotations={stmt.stmt_id: ["parallel for"]})
+        assert "// parallel for" in out

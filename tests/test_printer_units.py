@@ -1,0 +1,103 @@
+"""Direct printer unit tests (beyond the round-trip property)."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    ArrayLV,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    FloatLit,
+    IntLit,
+    UnaryOp,
+    VarLV,
+    VarRef,
+)
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_expr, format_lvalue, format_program, format_stmt
+
+
+class TestFormatExpr:
+    def test_literals(self):
+        assert format_expr(IntLit(42)) == "42"
+        assert format_expr(FloatLit(2.5)) == "2.5"
+
+    def test_float_always_has_point_or_exponent(self):
+        assert format_expr(FloatLit(3.0)) == "3.0"
+        text = format_expr(FloatLit(1e-8))
+        assert "e" in text or "." in text
+
+    def test_binop_parenthesized(self):
+        expr = BinOp("+", VarRef("a"), BinOp("*", VarRef("b"), VarRef("c")))
+        assert format_expr(expr) == "(a + (b * c))"
+
+    def test_unary(self):
+        assert format_expr(UnaryOp("-", VarRef("x"))) == "-(x)"
+        assert format_expr(UnaryOp("!", IntLit(0))) == "!(0)"
+
+    def test_call(self):
+        expr = Call("max", [VarRef("a"), IntLit(3)])
+        assert format_expr(expr) == "max(a, 3)"
+
+    def test_array_ref(self):
+        expr = ArrayRef("A", [VarRef("i"), IntLit(0)])
+        assert format_expr(expr) == "A[i][0]"
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TypeError):
+            format_expr(object())
+
+
+class TestFormatLValue:
+    def test_var(self):
+        assert format_lvalue(VarLV("x")) == "x"
+
+    def test_array(self):
+        assert format_lvalue(ArrayLV("A", [IntLit(1)])) == "A[1]"
+
+
+class TestFormatStmt:
+    def stmt(self, src):
+        return parse_program(f"void f(int n, float A[]) {{ {src} }}").function("f").body[0]
+
+    def test_assign(self):
+        lines = format_stmt(self.stmt("n += 2;"))
+        assert lines == ["n += 2;"]
+
+    def test_indentation(self):
+        lines = format_stmt(self.stmt("if (n) { n = 1; }"), indent=1)
+        assert lines[0].startswith("    if")
+        assert lines[1].startswith("        n")
+
+    def test_while(self):
+        lines = format_stmt(self.stmt("while (n > 0) { n--; }"))
+        assert lines[0] == "while ((n > 0)) {"
+
+    def test_break_continue(self):
+        lines = format_stmt(self.stmt("for (;;) { break; }"))
+        assert "    break;" in lines
+
+    def test_annotations_precede_statement(self):
+        stmt = self.stmt("n = 1;")
+        lines = format_stmt(stmt, annotations={stmt.stmt_id: ["note one", "note two"]})
+        assert lines[:2] == ["// note one", "// note two"]
+        assert lines[2] == "n = 1;"
+
+
+class TestFormatProgram:
+    def test_globals_separated(self):
+        prog = parse_program("int g = 1;\nvoid f() { g = 2; }")
+        text = format_program(prog)
+        assert text.startswith("int g = 1;\n\n")
+
+    def test_functions_blank_line_separated(self):
+        prog = parse_program("void a() { }\nvoid b() { }")
+        text = format_program(prog)
+        assert "}\n\nvoid b" in text
+
+    def test_reference_param_printed(self):
+        prog = parse_program("void f(int &x, float A[][]) { x = 1; }")
+        text = format_program(prog)
+        assert "int &x" in text
+        assert "float A[][]" in text

@@ -1,0 +1,105 @@
+"""Profile serialization round-trip tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.patterns.engine import analyze_profile, summarize_patterns
+from repro.profiling import profile_run
+from repro.profiling.serialize import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+from conftest import parsed
+
+
+def roundtrip(profile):
+    fh = io.StringIO()
+    save_profile(profile, fh)
+    fh.seek(0)
+    return load_profile(fh)
+
+
+@pytest.fixture()
+def rich_profile(pipeline_program):
+    profile, _ = profile_run(
+        pipeline_program, "kernel", [np.ones(16), np.zeros(16), 16]
+    )
+    return pipeline_program, profile
+
+
+class TestRoundTrip:
+    def test_scalars(self, rich_profile):
+        _, profile = rich_profile
+        back = roundtrip(profile)
+        assert back.total_cost == profile.total_cost
+        assert back.runs == profile.runs
+        assert back.unique_array_addresses == profile.unique_array_addresses
+        assert back.array_accesses == profile.array_accesses
+
+    def test_deps_exact(self, rich_profile):
+        _, profile = rich_profile
+        back = roundtrip(profile)
+        assert back.deps == profile.deps
+
+    def test_tables_exact(self, rich_profile):
+        _, profile = rich_profile
+        back = roundtrip(profile)
+        assert back.loop_var_writes == profile.loop_var_writes
+        assert back.loop_var_reads == profile.loop_var_reads
+        assert back.read_first == profile.read_first
+        assert back.pairs == profile.pairs
+        assert back.line_costs == profile.line_costs
+        assert back.site_costs == profile.site_costs
+        assert back.loop_trips == profile.loop_trips
+
+    def test_pet_structure(self, rich_profile):
+        _, profile = rich_profile
+        back = roundtrip(profile)
+        orig_nodes = [(n.region, n.kind, n.invocations) for n in profile.pet.walk()]
+        back_nodes = [(n.region, n.kind, n.invocations) for n in back.pet.walk()]
+        assert orig_nodes == back_nodes
+        assert back.pet.inclusive_cost == profile.pet.inclusive_cost
+
+    def test_calltree_structure(self, rich_profile):
+        _, profile = rich_profile
+        back = roundtrip(profile)
+        orig = [(n.region, n.kind, n.inclusive_cost) for n in profile.calltree.walk()]
+        new = [(n.region, n.kind, n.inclusive_cost) for n in back.calltree.walk()]
+        assert orig == new
+
+    def test_recursive_pet_roundtrips(self, fib_program):
+        profile, _ = profile_run(fib_program, "fib", [10])
+        back = roundtrip(profile)
+        assert back.pet.recursive
+        assert back.pet.invocations == profile.pet.invocations
+
+    def test_detection_identical_after_roundtrip(self, rich_profile):
+        program, profile = rich_profile
+        before = summarize_patterns(analyze_profile(program, profile))
+        after = summarize_patterns(analyze_profile(program, roundtrip(profile)))
+        assert before == after == "Multi-loop pipeline"
+
+    def test_streaming_fraction_preserved(self, rich_profile):
+        _, profile = rich_profile
+        back = roundtrip(profile)
+        assert back.streaming_fraction == pytest.approx(profile.streaming_fraction)
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, rich_profile):
+        _, profile = rich_profile
+        data = profile_to_dict(profile)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            profile_from_dict(data)
+
+    def test_empty_profile(self):
+        prog = parsed("int f() { return 1; }")
+        profile, _ = profile_run(prog, "f", [])
+        back = roundtrip(profile)
+        assert back.deps == profile.deps == {}

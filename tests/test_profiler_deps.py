@@ -1,0 +1,268 @@
+"""Dependence profiler tests: RAW/WAR/WAW, carriers, privatization."""
+
+import numpy as np
+
+from repro.profiling import profile_run
+from repro.profiling.model import RAW, WAR, WAW
+
+from conftest import parsed
+
+
+def deps_of(profile, kind=None, var=None, carrier="any"):
+    out = []
+    for dep, count in profile.deps.items():
+        if kind is not None and dep.kind != kind:
+            continue
+        if var is not None and dep.var != var:
+            continue
+        if carrier != "any" and dep.carrier != carrier:
+            continue
+        out.append((dep, count))
+    return out
+
+
+class TestBasicDependences:
+    def test_raw_within_straightline_code(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int a = n + 1;
+    int b = a * 2;
+    return b;
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [3])
+        raws = deps_of(profile, kind=RAW, var="a")
+        assert any(d.src_line == 2 and d.dst_line == 3 for d, _ in raws)
+
+    def test_waw_recorded(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int a = 1;
+    a = 2;
+    return a;
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [0])
+        assert deps_of(profile, kind=WAW, var="a")
+
+    def test_war_recorded(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int a = 1;
+    int b = a;
+    a = 2;
+    return a + b;
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [0])
+        wars = deps_of(profile, kind=WAR, var="a")
+        assert any(d.src_line == 3 and d.dst_line == 4 for d, _ in wars)
+
+    def test_no_false_deps_between_distinct_arrays(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = 1.0;
+    }
+    for (int i = 0; i < n; i++) {
+        B[i] = 2.0;
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(4), np.zeros(4), 4])
+        assert not deps_of(profile, var="A", kind=RAW)
+        assert not profile.pairs
+
+
+class TestCarriedClassification:
+    def test_loop_carried_raw(self):
+        prog = parsed(
+            """\
+void f(float A[], int n) {
+    for (int i = 1; i < n; i++) {
+        A[i] = A[i - 1] + 1.0;
+    }
+}
+"""
+        )
+        prog_loop = next(r for r in prog.regions.values() if r.kind == "loop")
+        profile, _ = profile_run(prog, "f", [np.zeros(6), 6])
+        carried = deps_of(profile, kind=RAW, var="A", carrier=prog_loop.region_id)
+        assert carried
+
+    def test_loop_independent_raw_not_carried(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0;
+        B[i] = A[i] * 2.0;
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(6), np.zeros(6), 6])
+        assert all(d.carrier is None for d, _ in deps_of(profile, var="A", kind=RAW))
+
+    def test_outer_loop_carrier_for_cross_iteration_inner_work(self):
+        prog = parsed(
+            """\
+void f(float A[][], int n) {
+    for (int t = 0; t < 3; t++) {
+        for (int i = 0; i < n; i++) {
+            A[0][i] = A[0][i] + 1.0;
+        }
+    }
+}
+"""
+        )
+        outer = next(
+            r.region_id
+            for r in prog.regions.values()
+            if r.kind == "loop" and r.parent == prog.function("f").region_id
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros((1, 4)), 4])
+        carried = deps_of(profile, kind=RAW, var="A", carrier=outer)
+        assert carried
+
+    def test_init_clause_write_is_not_carried(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int s = 0;
+    int i = 0;
+    for (i = 0; i < n; i++) {
+        s += 1;
+    }
+    return s;
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [4])
+        # the init write of i must not create a carried RAW from "iteration -1"
+        loop = next(r.region_id for r in prog.regions.values() if r.kind == "loop")
+        for dep, _ in deps_of(profile, var="i", kind=RAW, carrier=loop):
+            assert dep.src_line != 4 or dep.dst_line != 4 or True  # smoke
+        # more precisely: carried deps on i must originate from the step, line 4
+        carried_i = deps_of(profile, var="i", carrier=loop)
+        assert all(d.src_line == 4 for d, _ in carried_i)
+
+
+class TestPrivatization:
+    def test_written_first_scalar_is_privatizable(self):
+        prog = parsed(
+            """\
+void f(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        float t = A[i] * 2.0;
+        A[i] = t + 1.0;
+    }
+}
+"""
+        )
+        loop = next(r.region_id for r in prog.regions.values() if r.kind == "loop")
+        profile, _ = profile_run(prog, "f", [np.zeros(5), 5])
+        assert (loop, "t") in profile.loop_accessed
+        assert (loop, "t") not in profile.read_first
+
+    def test_read_first_scalar_is_not_privatizable(self):
+        prog = parsed(
+            """\
+float f(float A[], int n) {
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        acc += A[i];
+    }
+    return acc;
+}
+"""
+        )
+        loop = next(r.region_id for r in prog.regions.values() if r.kind == "loop")
+        profile, _ = profile_run(prog, "f", [np.ones(5), 5])
+        assert (loop, "acc") in profile.read_first
+
+
+class TestCrossFunctionDeps:
+    def test_reference_parameter_aliases(self):
+        prog = parsed(
+            """\
+void add(float &acc, float v) {
+    acc += v;
+}
+float f(float A[], int n) {
+    float total = 0.0;
+    for (int i = 0; i < n; i++) {
+        add(total, A[i]);
+    }
+    return total;
+}
+"""
+        )
+        loop = next(r.region_id for r in prog.regions.values() if r.kind == "loop")
+        profile, _ = profile_run(prog, "f", [np.ones(5), 5])
+        carried = [d for d in profile.deps if d.carrier == loop and d.kind == RAW]
+        assert any(d.var == "acc" for d in carried)
+        # Algorithm 3's tables must show the accumulating line inside add()
+        assert profile.loop_var_writes[(loop, "acc")] == {2}
+
+    def test_sites_lift_callee_work_to_call_site(self):
+        prog = parsed(
+            """\
+void produce(float A[], int n) {
+    for (int i = 0; i < n; i++) { A[i] = i * 1.0; }
+}
+float consume(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) { s += A[i]; }
+    return s;
+}
+float f(float A[], int n) {
+    produce(A, n);
+    return consume(A, n);
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(5), 5])
+        f_region = prog.function("f").region_id
+        lifted = [
+            d
+            for d in profile.deps
+            if d.region == f_region and d.kind == RAW and d.var == "A"
+        ]
+        assert lifted
+        # call sites are at lines 10 (produce) and 11 (consume)
+        assert all((d.src_site, d.dst_site) == (10, 11) for d in lifted)
+
+
+class TestCosts:
+    def test_total_cost_matches_interpreter(self):
+        prog = parsed(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }"
+        )
+        profile, result = profile_run(prog, "f", [10])
+        assert profile.total_cost == result.total_cost
+
+    def test_site_costs_cover_loop_body(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += i;
+    }
+    return s;
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [10])
+        f_region = prog.function("f").region_id
+        # the for statement at line 3 carries the loop's inclusive cost
+        assert profile.site_costs[(f_region, 3)] > 20

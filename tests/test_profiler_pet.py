@@ -1,0 +1,211 @@
+"""PET construction, hotspots, call tree, and profile merging."""
+
+import numpy as np
+
+from repro.profiling import hotspot_regions, profile_run, profile_runs
+
+from conftest import parsed
+
+
+NESTED = """\
+void inner(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = A[i] + 1.0;
+    }
+}
+void f(float A[], int n) {
+    for (int t = 0; t < 4; t++) {
+        inner(A, n);
+    }
+}
+"""
+
+
+class TestPET:
+    def test_structure(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(8), 8])
+        root = profile.pet
+        assert root.kind == "function" and root.region == prog.function("f").region_id
+        (outer_loop,) = root.children
+        assert outer_loop.kind == "loop"
+        (inner_fn,) = outer_loop.children
+        assert inner_fn.kind == "function"
+        assert inner_fn.invocations == 4
+        (inner_loop,) = inner_fn.children
+        assert inner_loop.total_trips == 32  # 4 invocations x 8 trips
+
+    def test_loop_iterations_merge_into_one_node(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(8), 8])
+        loops = [n for n in profile.pet.walk() if n.kind == "loop"]
+        assert len(loops) == 2  # outer + inner, regardless of trip counts
+
+    def test_recursion_merges_into_single_node(self, fib_program):
+        profile, _ = profile_run(fib_program, "fib", [10])
+        nodes = [n for n in profile.pet.walk()]
+        assert len(nodes) == 1
+        assert nodes[0].recursive
+        assert nodes[0].invocations == 177  # number of fib() calls for n=10
+
+    def test_inclusive_cost_equals_total(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(8), 8])
+        assert profile.pet.inclusive_cost <= profile.total_cost
+        # only the entry CALL/pre-cost differs
+        assert profile.total_cost - profile.pet.inclusive_cost < 10
+
+
+class TestHotspots:
+    def test_hotspot_ranking(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(64), 64])
+        hs = hotspot_regions(profile, prog, threshold=0.5)
+        names = [h.name for h in hs]
+        assert names[0] == "f"
+        assert any(h.kind == "loop" for h in hs)
+
+    def test_threshold_filters(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(64), 64])
+        all_regions = hotspot_regions(profile, prog, threshold=0.0)
+        some = hotspot_regions(profile, prog, threshold=0.99)
+        assert len(some) < len(all_regions)
+
+    def test_shares_bounded(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(16), 16])
+        for h in hotspot_regions(profile, prog, threshold=0.0):
+            assert 0.0 <= h.share <= 1.0 + 1e-9
+
+
+class TestCallTree:
+    def test_calltree_shape(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(4), 4])
+        root = profile.calltree
+        assert root.kind == "function"
+        (loop,) = root.children
+        assert loop.kind == "loop"
+        assert len(loop.children) == 4  # four inner() activations
+        assert all(c.kind == "function" for c in loop.children)
+
+    def test_per_iteration_costs(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(4), 4])
+        (loop,) = profile.calltree.children
+        assert len(loop.per_iter_cost) == 4
+        assert sum(loop.per_iter_cost) == loop.inclusive_cost
+
+    def test_inclusive_cost_propagates(self):
+        prog = parsed(NESTED)
+        profile, _ = profile_run(prog, "f", [np.zeros(4), 4])
+        root = profile.calltree
+        assert root.inclusive_cost >= sum(c.inclusive_cost for c in root.children)
+
+
+class TestMerging:
+    def test_merge_accumulates_costs(self):
+        prog = parsed(NESTED)
+        p1, _ = profile_run(prog, "f", [np.zeros(8), 8])
+        p2, _ = profile_run(prog, "f", [np.zeros(16), 16])
+        merged = p1.merge(p2)
+        assert merged.total_cost == p1.total_cost + p2.total_cost
+        assert merged.runs == 2
+        assert merged.pet.inclusive_cost == p1.pet.inclusive_cost + p2.pet.inclusive_cost
+
+    def test_merge_unions_deps(self):
+        prog = parsed(NESTED)
+        p1, _ = profile_run(prog, "f", [np.zeros(8), 8])
+        p2, _ = profile_run(prog, "f", [np.zeros(16), 16])
+        merged = p1.merge(p2)
+        assert set(merged.deps) == set(p1.deps) | set(p2.deps)
+
+    def test_merge_concatenates_pairs(self, pipeline_program):
+        p1, _ = profile_run(pipeline_program, "kernel", [np.ones(8), np.zeros(8), 8])
+        p2, _ = profile_run(pipeline_program, "kernel", [np.ones(12), np.zeros(12), 12])
+        merged = p1.merge(p2)
+        (key,) = merged.pairs.keys()
+        assert len(merged.pairs[key]) == len(p1.pairs[key]) + len(p2.pairs[key])
+
+    def test_profile_runs_convenience(self, pipeline_program):
+        merged = profile_runs(
+            pipeline_program,
+            "kernel",
+            [[np.ones(8), np.zeros(8), 8], [np.ones(12), np.zeros(12), 12]],
+        )
+        assert merged.runs == 2
+
+    def test_merge_dep_counts_add(self):
+        prog = parsed(NESTED)
+        p1, _ = profile_run(prog, "f", [np.zeros(8), 8])
+        merged = p1.merge(p1)
+        for key, count in p1.deps.items():
+            assert merged.deps[key] == 2 * count
+
+
+class TestMultiLoopPairs:
+    def test_offset_pairs_give_reg_detect_shape(self, pipeline_program):
+        # loop y starts at j=1, so its iteration numbers lag loop x's by one:
+        # this is precisely how reg_detect's b = -1 arises in the paper.
+        profile, _ = profile_run(
+            pipeline_program, "kernel", [np.ones(10), np.zeros(10), 10]
+        )
+        (pairs,) = profile.pairs.values()
+        assert pairs == [(i, i - 1) for i in range(1, 10)]
+
+    def test_one_to_one_pairs(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = A[j];
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(10), np.zeros(10), 10])
+        (pairs,) = profile.pairs.values()
+        assert pairs == [(i, i) for i in range(10)]
+
+    def test_last_write_wins(self):
+        # loop x writes each cell twice; pair must use the *last* write iter
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < 2 * n; i++) {
+        A[i % n] = i * 1.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = A[j];
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(5), np.zeros(5), 5])
+        (pairs,) = profile.pairs.values()
+        assert all(ix >= 5 for ix, _ in pairs)  # second sweep of loop x
+
+    def test_first_read_wins(self):
+        # loop y reads each cell twice; pair must use the *first* read iter
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < 2 * n; j++) {
+        B[j % n] = B[j % n] + A[j % n];
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(5), np.zeros(5), 5])
+        pairs = profile.pairs[
+            next(k for k in profile.pairs if k[0] != k[1])
+        ]
+        a_pairs = [p for p in pairs if p[1] < 5]
+        assert a_pairs  # reads recorded during the first sweep only

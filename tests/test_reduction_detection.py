@@ -1,0 +1,198 @@
+"""Algorithm 3 tests: dynamic reduction detection + operator inference."""
+
+import numpy as np
+
+from repro.patterns.reduction import detect_reductions, infer_operator
+from repro.profiling import profile_run
+
+from conftest import parsed
+
+
+def reductions_of(src, entry, args, which=0):
+    prog = parsed(src)
+    profile, _ = profile_run(prog, entry, args)
+    loops = [r.region_id for r in prog.regions.values() if r.kind == "loop"]
+    return prog, detect_reductions(prog, profile, loops[which])
+
+
+class TestDetection:
+    def test_sum_local(self):
+        _, cands = reductions_of(
+            """\
+int sum_local(int arr[], int size) {
+    int sum = 0;
+    for (int i = 0; i < size; i++) {
+        sum += arr[i];
+    }
+    return sum;
+}
+""",
+            "sum_local",
+            [np.arange(10, dtype=np.int64), 10],
+        )
+        assert len(cands) == 1
+        assert cands[0].var == "sum"
+        assert cands[0].line == 4
+        assert cands[0].operator == "+"
+
+    def test_sum_module_cross_function(self):
+        _, cands = reductions_of(
+            """\
+void add(int &sum, int v) {
+    sum += v * v;
+}
+int f(int arr[], int size) {
+    int sum = 0;
+    for (int i = 0; i < size; i++) {
+        add(sum, arr[i]);
+    }
+    return sum;
+}
+""",
+            "f",
+            [np.arange(10, dtype=np.int64), 10],
+        )
+        assert len(cands) == 1
+        assert cands[0].var == "sum"
+        assert cands[0].line == 2  # the accumulating line inside add()
+
+    def test_two_variables_reported(self):
+        _, cands = reductions_of(
+            """\
+float f(float A[], int n) {
+    float s = 0.0;
+    float m = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+        m += A[i] * A[i];
+    }
+    return s + m;
+}
+""",
+            "f",
+            [np.ones(8), 8],
+        )
+        assert {c.var for c in cands} == {"m", "s"}
+
+    def test_array_accumulation_across_outer_loop(self):
+        # bicg's s[j]: carried RAW + WAW in the outer loop at one line
+        prog = parsed(
+            """\
+void f(float A[][], float s[], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            s[j] = s[j] + A[i][j];
+        }
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.ones((6, 6)), np.zeros(6), 6])
+        outer = min(r.region_id for r in prog.regions.values() if r.kind == "loop")
+        cands = detect_reductions(prog, profile, outer)
+        assert [c.var for c in cands] == ["s"]
+
+
+class TestRejections:
+    def test_recurrence_rejected(self):
+        # path[i] = path[i-1] + ... is a carried RAW at one line but NOT a
+        # reduction (no carried WAW: each cell written once)
+        _, cands = reductions_of(
+            "void f(float P[], int n) { for (int i = 1; i < n; i++) { P[i] = P[i - 1] + 1.0; } }",
+            "f",
+            [np.zeros(10), 10],
+        )
+        assert cands == []
+
+    def test_multiple_write_lines_rejected(self):
+        _, cands = reductions_of(
+            """\
+float f(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+        s = s * 0.99;
+    }
+    return s;
+}
+""",
+            "f",
+            [np.ones(8), 8],
+        )
+        assert cands == []
+
+    def test_read_at_other_line_rejected(self):
+        _, cands = reductions_of(
+            """\
+float f(float A[], float B[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+        B[i] = s;
+    }
+    return s;
+}
+""",
+            "f",
+            [np.ones(8), np.zeros(8), 8],
+        )
+        assert cands == []
+
+    def test_induction_variable_not_a_reduction(self):
+        _, cands = reductions_of(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += 1; } return s; }",
+            "f",
+            [8],
+        )
+        assert [c.var for c in cands] == ["s"]  # i excluded, s kept
+
+    def test_doall_loop_has_no_candidates(self):
+        _, cands = reductions_of(
+            "void f(float A[], int n) { for (int i = 0; i < n; i++) { A[i] = i * 1.0; } }",
+            "f",
+            [np.zeros(8), 8],
+        )
+        assert cands == []
+
+
+class TestOperatorInference:
+    def infer(self, body_line, var="s"):
+        src = f"""\
+float f(float A[], int n) {{
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {{
+        {body_line}
+    }}
+    return s;
+}}
+"""
+        prog = parsed(src)
+        return infer_operator(prog, 4, var)
+
+    def test_plus_equals(self):
+        assert self.infer("s += A[i];") == "+"
+
+    def test_times_equals(self):
+        assert self.infer("s *= A[i];") == "*"
+
+    def test_explicit_plus(self):
+        assert self.infer("s = s + A[i];") == "+"
+
+    def test_commuted_plus(self):
+        assert self.infer("s = A[i] + s;") == "+"
+
+    def test_min_call(self):
+        assert self.infer("s = min(s, A[i]);") == "min"
+
+    def test_max_call(self):
+        assert self.infer("s = max(s, A[i]);") == "max"
+
+    def test_non_associative_shape_unknown(self):
+        assert self.infer("s = A[i] - s;") is None
+
+    def test_var_on_both_sides_unknown(self):
+        assert self.infer("s = s + s * A[i];") is None
+
+    def test_unrelated_line_unknown(self):
+        prog = parsed("void f() { int x = 0; }")
+        assert infer_operator(prog, 99, "x") is None

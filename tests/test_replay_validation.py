@@ -1,0 +1,186 @@
+"""Reordered-execution validation tests: the do-all oracle."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_program
+from repro.runtime.replay import (
+    ReplayError,
+    results_equal,
+    run_with_loop_order,
+    validate_doall,
+)
+
+from conftest import parsed
+
+
+def first_loop(prog):
+    return next(r.region_id for r in prog.regions.values() if r.kind == "loop")
+
+
+DOALL_SRC = """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0 + 1.0;
+    }
+}
+"""
+
+SEQ_SRC = """\
+void f(float A[], int n) {
+    for (int i = 1; i < n; i++) {
+        A[i] = A[i - 1] + A[i];
+    }
+}
+"""
+
+
+class TestOrders:
+    @pytest.mark.parametrize("order", ["reverse", "shuffle", "interleave"])
+    def test_doall_loop_stable_under_any_order(self, order):
+        prog = parsed(DOALL_SRC)
+        args = [np.arange(16.0), np.zeros(16), 16]
+        serial = run_program(prog, "f", args)
+        permuted = run_with_loop_order(prog, "f", args, first_loop(prog), order=order)
+        assert results_equal(serial, permuted)
+
+    def test_sequential_loop_breaks_under_reversal(self):
+        prog = parsed(SEQ_SRC)
+        args = [np.arange(1.0, 9.0), 8]
+        serial = run_program(prog, "f", args)
+        reversed_run = run_with_loop_order(prog, "f", args, first_loop(prog), order="reverse")
+        assert not results_equal(serial, reversed_run)
+
+    def test_unknown_order_rejected(self):
+        prog = parsed(DOALL_SRC)
+        with pytest.raises(ReplayError):
+            run_with_loop_order(
+                prog, "f", [np.zeros(4), np.zeros(4), 4], first_loop(prog), order="zigzag"
+            )
+
+    def test_shuffle_is_seeded(self):
+        prog = parsed(DOALL_SRC)
+        args = [np.arange(8.0), np.zeros(8), 8]
+        r1 = run_with_loop_order(prog, "f", args, first_loop(prog), "shuffle", seed=1)
+        r2 = run_with_loop_order(prog, "f", args, first_loop(prog), "shuffle", seed=1)
+        assert results_equal(r1, r2)
+
+
+class TestValidateDoall:
+    def test_accepts_true_doall(self):
+        prog = parsed(DOALL_SRC)
+        assert validate_doall(prog, "f", [np.arange(12.0), np.zeros(12), 12], first_loop(prog))
+
+    def test_rejects_recurrence(self):
+        prog = parsed(SEQ_SRC)
+        assert not validate_doall(prog, "f", [np.arange(1.0, 13.0), 12], first_loop(prog))
+
+    def test_rejects_order_sensitive_scalar(self):
+        prog = parsed(
+            """\
+float f(float A[], int n) {
+    float last = 0.0;
+    for (int i = 0; i < n; i++) {
+        last = A[i];
+    }
+    return last;
+}
+"""
+        )
+        assert not validate_doall(prog, "f", [np.arange(8.0), 8], first_loop(prog))
+
+    def test_detected_doall_classifications_hold_empirically(self):
+        """End-to-end oracle: what the detector calls do-all must be
+        reorder-stable on the profiled input."""
+        from repro.patterns.engine import analyze
+
+        src = """\
+void f(float A[], float B[], float C[], int n) {
+    for (int i = 0; i < n; i++) {
+        float t = A[i] * 3.0;
+        B[i] = t + 1.0;
+    }
+    for (int j = 1; j < n; j++) {
+        C[j] = C[j - 1] * 0.5 + B[j];
+    }
+}
+"""
+        prog = parsed(src)
+        args = [np.arange(10.0), np.zeros(10), np.zeros(10), 10]
+        result = analyze(prog, "f", [args])
+        for region, lc in result.loop_classes.items():
+            if lc.is_doall:
+                assert validate_doall(prog, "f", args, region), region
+
+
+class TestCanonicalGuards:
+    def test_while_loop_not_replayable(self):
+        prog = parsed("void f(int n) { while (n > 0) { n = n - 1; } }")
+        loop = first_loop(prog)
+        with pytest.raises(ReplayError):
+            run_with_loop_order(prog, "f", [4], loop)
+
+    def test_break_inside_rejected(self):
+        prog = parsed(
+            """\
+void f(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        if (A[i] > 2.0) {
+            break;
+        }
+        A[i] = A[i] + 1.0;
+    }
+}
+"""
+        )
+        with pytest.raises(ReplayError):
+            run_with_loop_order(prog, "f", [np.arange(8.0), 8], first_loop(prog), "reverse")
+
+    def test_non_target_loops_run_normally(self):
+        prog = parsed(
+            """\
+void f(float A[][], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            A[i][j] = i * 10.0 + j;
+        }
+    }
+}
+"""
+        )
+        outer = first_loop(prog)
+        serial = run_program(prog, "f", [np.zeros((4, 4)), 4])
+        permuted = run_with_loop_order(prog, "f", [np.zeros((4, 4)), 4], outer, "reverse")
+        assert results_equal(serial, permuted)
+
+    def test_decrementing_loop(self):
+        prog = parsed(
+            """\
+void f(float A[], int n) {
+    for (int i = n - 1; i >= 0; i -= 1) {
+        A[i] = i * 1.0;
+    }
+}
+"""
+        )
+        serial = run_program(prog, "f", [np.zeros(8), 8])
+        permuted = run_with_loop_order(prog, "f", [np.zeros(8), 8], first_loop(prog), "reverse")
+        assert results_equal(serial, permuted)
+
+    def test_induction_value_after_loop_matches_serial(self):
+        prog = parsed(
+            """\
+int f(int n) {
+    int i = 0;
+    int last = 0;
+    for (i = 0; i < n; i++) {
+        last = last | 0;
+    }
+    return i;
+}
+""".replace("|", "+")
+        )
+        loop = first_loop(prog)
+        serial = run_program(prog, "f", [7])
+        permuted = run_with_loop_order(prog, "f", [7], loop, "reverse")
+        assert permuted.value == serial.value == 7

@@ -1,0 +1,166 @@
+"""Coverage for the small supporting modules: interpretation text,
+intrinsics, values/memory, sweeps, and errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError, SourceError
+from repro.patterns.interpretation import (
+    interpret_a,
+    interpret_b,
+    interpret_efficiency,
+    interpret_pipeline,
+)
+from repro.runtime.intrinsics import INTRINSICS
+from repro.runtime.values import AddressSpace, ArrayValue, ScalarCell
+from repro.sim.sweep import ThreadSweep, sweep_threads
+
+from conftest import parsed
+from repro.runtime import run_program
+
+
+class TestInterpretation:
+    def test_a_one(self):
+        assert "exactly" in interpret_a(1.0)
+
+    def test_a_small(self):
+        text = interpret_a(0.05)
+        assert "20" in text
+
+    def test_a_large(self):
+        assert "3" in interpret_a(3.0)
+
+    def test_a_zero(self):
+        assert "do not scale" in interpret_a(0.0)
+
+    def test_b_zero(self):
+        assert "all iterations" in interpret_b(0.0)
+
+    def test_b_negative_names_count(self):
+        assert "3.5" in interpret_b(-3.5)
+
+    def test_b_positive(self):
+        assert "do not depend" in interpret_b(2.0)
+
+    def test_efficiency_bands(self):
+        assert "parallel" in interpret_efficiency(1.8)
+        assert "efficient" in interpret_efficiency(0.97)
+        assert "waiting" in interpret_efficiency(0.5)
+        assert "inefficient" in interpret_efficiency(0.05)
+
+    def test_combined_sentence(self):
+        text = interpret_pipeline(1.0, -1.0, 0.99)
+        assert text.count(";") == 2
+        assert text.endswith(".")
+
+
+class TestIntrinsics:
+    def test_expected_set(self):
+        assert {"sqrt", "fabs", "min", "max", "pow", "toint", "tofloat"} <= set(
+            INTRINSICS
+        )
+
+    def test_arities(self):
+        assert INTRINSICS["sqrt"].arity == 1
+        assert INTRINSICS["pow"].arity == 2
+
+    def test_costs_positive(self):
+        assert all(spec.cost > 0 for spec in INTRINSICS.values())
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("sqrt(16.0)", 4.0),
+            ("fabs(0.0 - 3.5)", 3.5),
+            ("min(2.0, 5.0)", 2.0),
+            ("max(2.0, 5.0)", 5.0),
+            ("floor(2.7)", 2.0),
+            ("ceil(2.1)", 3.0),
+            ("pow(2.0, 10.0)", 1024.0),
+            ("tofloat(3)", 3.0),
+        ],
+    )
+    def test_evaluation(self, expr, expected):
+        prog = parsed(f"float f() {{ return {expr}; }}")
+        assert run_program(prog, "f", []).value == pytest.approx(expected)
+
+    def test_toint_truncates(self):
+        prog = parsed("int f() { return toint(3.9); }")
+        assert run_program(prog, "f", []).value == 3
+
+
+class TestValues:
+    def space(self):
+        return AddressSpace()
+
+    def test_addresses_monotone_and_disjoint(self):
+        space = self.space()
+        a = ArrayValue("float", (4,), space)
+        b = ArrayValue("float", (4,), space)
+        assert a.base + a.size <= b.base
+
+    def test_flat_index_row_major(self):
+        arr = ArrayValue("int", (3, 4), self.space())
+        assert arr.flat_index((2, 3)) == 11
+        assert arr.flat_index((0, 0)) == 0
+
+    def test_bounds_check(self):
+        arr = ArrayValue("int", (3,), self.space())
+        with pytest.raises(InterpreterError):
+            arr.flat_index((3,))
+        with pytest.raises(InterpreterError):
+            arr.flat_index((-1,))
+
+    def test_rank_check(self):
+        arr = ArrayValue("int", (3, 3), self.space())
+        with pytest.raises(InterpreterError):
+            arr.flat_index((1,))
+
+    def test_int_array_coerces_values(self):
+        arr = ArrayValue("int", (2,), self.space())
+        arr.set(0, 3.9)
+        assert arr.get(0) == 3
+
+    def test_numpy_roundtrip(self):
+        data = np.arange(12.0).reshape(3, 4)
+        arr = ArrayValue.from_numpy(data, self.space())
+        assert np.array_equal(arr.to_numpy(), data)
+
+    def test_from_list(self):
+        arr = ArrayValue.from_list([1, 2, 3], "int", self.space())
+        assert arr.to_numpy().tolist() == [1, 2, 3]
+
+    def test_bad_dtype(self):
+        with pytest.raises(InterpreterError):
+            ArrayValue("double", (2,), self.space())
+
+    def test_nonpositive_extent(self):
+        with pytest.raises(InterpreterError):
+            ArrayValue("int", (0,), self.space())
+
+
+class TestSweep:
+    def test_best_is_max(self):
+        sweep = sweep_threads(lambda p: {1: 1.0, 2: 1.8, 4: 3.1}[p], (1, 2, 4))
+        assert sweep.best_threads == 4
+        assert sweep.best_speedup == pytest.approx(3.1)
+
+    def test_tie_prefers_fewer_threads(self):
+        sweep = ThreadSweep(speedups={2: 2.0, 8: 2.0})
+        assert sweep.best_threads == 2
+
+    def test_rows_sorted(self):
+        sweep = ThreadSweep(speedups={8: 1.0, 2: 1.0, 4: 1.0})
+        assert [p for p, _ in sweep.as_rows()] == [2, 4, 8]
+
+
+class TestErrors:
+    def test_source_error_carries_line(self):
+        err = SourceError("bad thing", line=42)
+        assert err.line == 42
+        assert "line 42" in str(err)
+
+    def test_source_error_without_line(self):
+        err = SourceError("bad thing")
+        assert err.line is None
+        assert str(err) == "bad thing"

@@ -1,0 +1,121 @@
+"""Task-commutation validation tests: swapped independent CUs must
+commute; dependent CUs must not be swappable or must change results."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.engine import analyze
+from repro.runtime import run_program
+from repro.runtime.replay import results_equal
+from repro.transform.reorder import (
+    ReorderError,
+    swap_cu_statements,
+    validate_concurrent_tasks,
+)
+
+from conftest import parsed
+
+INDEPENDENT = """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 2.0 + sqrt(i + 1.0);
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = j * 3.0 + sqrt(j + 2.0);
+    }
+}
+"""
+
+
+def task_of(src, entry, args):
+    prog = parsed(src)
+    result = analyze(prog, entry, [args])
+    region = prog.function(entry).region_id
+    return prog, result.tasks[region]
+
+
+class TestSwap:
+    def test_independent_loops_commute(self):
+        args = [np.zeros(12), np.zeros(12), 12]
+        prog, task = task_of(INDEPENDENT, "f", args)
+        a, b = task.concurrent_tasks
+        swapped = swap_cu_statements(prog, task, a, b)
+        r1 = run_program(prog, "f", args)
+        r2 = run_program(swapped, "f", args)
+        assert results_equal(r1, r2)
+
+    def test_swap_changes_source_order(self):
+        args = [np.zeros(8), np.zeros(8), 8]
+        prog, task = task_of(INDEPENDENT, "f", args)
+        a, b = task.concurrent_tasks
+        swapped = swap_cu_statements(prog, task, a, b)
+        assert swapped.source.index("B[j]") < swapped.source.index("A[i]")
+
+    def test_dependent_cus_do_not_commute(self):
+        src = """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 2.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = A[j] + 1.0;
+    }
+}
+"""
+        args = [np.zeros(8), np.zeros(8), 8]
+        prog, task = task_of(src, "f", args)
+        cu_ids = [cu.cu_id for cu in task.cus]
+        swapped = swap_cu_statements(prog, task, cu_ids[0], cu_ids[1])
+        r1 = run_program(prog, "f", args)
+        r2 = run_program(swapped, "f", args)
+        assert not results_equal(r1, r2)
+
+    def test_unknown_cu_rejected(self):
+        args = [np.zeros(8), np.zeros(8), 8]
+        prog, task = task_of(INDEPENDENT, "f", args)
+        with pytest.raises(ReorderError):
+            swap_cu_statements(prog, task, 0, 99)
+
+
+class TestValidate:
+    def test_independent_program_passes(self):
+        args = [np.zeros(12), np.zeros(12), 12]
+        prog, task = task_of(INDEPENDENT, "f", args)
+        checked, failed = validate_concurrent_tasks(prog, "f", args, task)
+        assert checked == 1
+        assert failed == 0
+
+    def test_three_way_independence(self):
+        src = """\
+void f(float A[], float B[], float C[], int n) {
+    for (int i = 0; i < n; i++) { A[i] = i * 1.0 + sqrt(i + 1.0); }
+    for (int j = 0; j < n; j++) { B[j] = j * 2.0 + sqrt(j + 2.0); }
+    for (int k = 0; k < n; k++) { C[k] = k * 3.0 + sqrt(k + 3.0); }
+}
+"""
+        args = [np.zeros(10), np.zeros(10), np.zeros(10), 10]
+        prog, task = task_of(src, "f", args)
+        checked, failed = validate_concurrent_tasks(prog, "f", args, task)
+        assert checked == 3  # all pairs
+        assert failed == 0
+
+    def test_fib_calls_commute(self, fib_program):
+        result = analyze(fib_program, "fib", [[10]])
+        task = result.tasks[fib_program.function("fib").region_id]
+        checked, failed = validate_concurrent_tasks(fib_program, "fib", [10], task)
+        assert checked >= 1
+        assert failed == 0
+
+    def test_registry_task_benchmarks_commute(self):
+        from repro.bench_programs import analyze_benchmark, get_benchmark
+
+        for name in ("mvt", "3mm"):
+            spec = get_benchmark(name)
+            result = analyze_benchmark(name)
+            task = result.best_task_parallelism()
+            assert task is not None
+            checked, failed = validate_concurrent_tasks(
+                spec.program, spec.entry, spec.arg_sets()[0], task, atol=1e-7
+            )
+            assert checked >= 1, name
+            assert failed == 0, name

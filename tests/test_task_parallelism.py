@@ -1,0 +1,199 @@
+"""Task parallelism tests: Algorithm 1, barrier parallelism, antichains,
+and the estimated-speedup metric."""
+
+import numpy as np
+import pytest
+
+from repro.cu.model import CU
+from repro.graphs.digraph import DiGraph
+from repro.patterns.tasks import (
+    classify_cus,
+    concurrent_task_set,
+    detect_task_parallelism,
+    parallel_barrier_pairs,
+)
+from repro.profiling import profile_run
+
+from conftest import parsed
+
+
+def make_cus(n):
+    return [CU(cu_id=i, region=0, kind="plain", lines={10 + i}) for i in range(n)]
+
+
+def make_graph(n, edges):
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+class TestAlgorithm1:
+    def test_fork_worker_barrier_diamond(self):
+        # 0 -> {1, 2} -> 3 : the fib shape
+        cus = make_cus(4)
+        graph = make_graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        marks = classify_cus(graph, cus)
+        assert marks == {0: "fork", 1: "worker", 2: "worker", 3: "barrier"}
+
+    def test_chain_is_fork_then_workers(self):
+        cus = make_cus(3)
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        marks = classify_cus(graph, cus)
+        assert marks == {0: "fork", 1: "worker", 2: "worker"}
+
+    def test_disconnected_components_get_own_forks(self):
+        cus = make_cus(4)
+        graph = make_graph(4, [(0, 1), (2, 3)])
+        marks = classify_cus(graph, cus)
+        assert marks[0] == "fork"
+        assert marks[2] == "fork"
+
+    def test_barrier_needs_two_predecessors(self):
+        cus = make_cus(3)
+        graph = make_graph(3, [(0, 2), (1, 2)])
+        marks = classify_cus(graph, cus)
+        # 0 is first fork; 2 worker via 0; 1 becomes its own fork; 2 barrier
+        assert marks[2] == "barrier"
+
+    def test_cycle_terminates(self):
+        cus = make_cus(2)
+        graph = make_graph(2, [(0, 1), (1, 0)])
+        marks = classify_cus(graph, cus)
+        assert set(marks) == {0, 1}
+
+    def test_cilksort_shape(self):
+        # figure 3: 0 forks 1..4; 5 joins 1,2; 6 joins 3,4; 7 joins 5,6
+        cus = make_cus(8)
+        edges = [(0, i) for i in (1, 2, 3, 4)]
+        edges += [(1, 5), (2, 5), (3, 6), (4, 6), (5, 7), (6, 7)]
+        graph = make_graph(8, edges)
+        marks = classify_cus(graph, cus)
+        assert marks[0] == "fork"
+        assert all(marks[i] == "worker" for i in (1, 2, 3, 4))
+        assert all(marks[i] == "barrier" for i in (5, 6, 7))
+
+
+class TestBarrierParallelism:
+    def test_independent_barriers_parallel(self):
+        cus = make_cus(8)
+        edges = [(0, i) for i in (1, 2, 3, 4)]
+        edges += [(1, 5), (2, 5), (3, 6), (4, 6), (5, 7), (6, 7)]
+        graph = make_graph(8, edges)
+        marks = classify_cus(graph, cus)
+        pairs = parallel_barrier_pairs(graph, marks)
+        assert (5, 6) in pairs
+        assert (5, 7) not in pairs
+        assert (6, 7) not in pairs
+
+
+class TestAntichain:
+    def test_picks_heavy_independent_set(self):
+        graph = make_graph(4, [(0, 3), (1, 3), (2, 3)])
+        cus = make_cus(4)
+        weights = {0: 10.0, 1: 10.0, 2: 1.0, 3: 100.0}
+        # 3 alone (100) loses to {0,1,2} (21)? No: 100 > 21, but 3 depends
+        # on everything, so both sets are valid antichains; heaviest wins.
+        chosen = concurrent_task_set(graph, cus, weights)
+        assert chosen == [3]
+
+    def test_barrier_heavier_than_workers_combined_is_chosen_alone(self):
+        graph = make_graph(3, [(0, 2), (1, 2)])
+        cus = make_cus(3)
+        weights = {0: 10.0, 1: 10.0, 2: 5.0}
+        assert concurrent_task_set(graph, cus, weights) == [0, 1]
+
+    def test_fdtd_shape_prefers_workers_over_heavy_barrier(self):
+        # ey0, ey, ex -> hz; hz heaviest but workers sum higher
+        graph = make_graph(4, [(0, 3), (1, 3), (2, 3)])
+        cus = make_cus(4)
+        weights = {0: 2.0, 1: 70.0, 2: 70.0, 3: 99.0}
+        assert concurrent_task_set(graph, cus, weights) == [0, 1, 2]
+
+    def test_zero_weight_nodes_ignored(self):
+        graph = make_graph(3, [])
+        cus = make_cus(3)
+        weights = {0: 1.0, 1: 0.0, 2: 1.0}
+        assert concurrent_task_set(graph, cus, weights) == [0, 2]
+
+
+class TestEndToEnd:
+    def test_fib_classification(self, fib_program):
+        profile, _ = profile_run(fib_program, "fib", [10])
+        region = fib_program.function("fib").region_id
+        tp = detect_task_parallelism(fib_program, profile, region)
+        kinds = {cu.cu_id: cu.kind for cu in tp.cus}
+        workers = tp.workers
+        assert len(workers) == 2
+        assert all(kinds[w] == "call" for w in workers)
+        assert len(tp.barriers) == 1
+        assert tp.marks[tp.forks[0]] == "fork"
+
+    def test_fib_metrics(self, fib_program):
+        profile, _ = profile_run(fib_program, "fib", [10])
+        region = fib_program.function("fib").region_id
+        tp = detect_task_parallelism(fib_program, profile, region)
+        assert tp.total_instructions > tp.critical_path_instructions > 0
+        assert tp.estimated_speedup > 2.0
+        assert 1.0 < tp.single_step_speedup < tp.estimated_speedup
+
+    def test_independent_loops_concurrent(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = j * 2.0;
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(20), np.zeros(20), 20])
+        tp = detect_task_parallelism(prog, profile, prog.function("f").region_id)
+        assert len(tp.concurrent_tasks) == 2
+        assert tp.estimated_speedup == pytest.approx(2.0, abs=0.2)
+
+    def test_dependent_loops_not_concurrent(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0;
+    }
+    for (int j = 0; j < n; j++) {
+        B[j] = A[j] * 2.0;
+    }
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(20), np.zeros(20), 20])
+        tp = detect_task_parallelism(prog, profile, prog.function("f").region_id)
+        assert len(tp.concurrent_tasks) == 1
+        assert tp.estimated_speedup == pytest.approx(1.0, abs=0.1)
+
+    def test_weights_populated(self, fib_program):
+        profile, _ = profile_run(fib_program, "fib", [8])
+        region = fib_program.function("fib").region_id
+        tp = detect_task_parallelism(fib_program, profile, region)
+        assert set(tp.weights) == {cu.cu_id for cu in tp.cus}
+        assert any(w > 0 for w in tp.weights.values())
+
+    def test_significant_tasks_filters_small(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 1.0 + sqrt(i + 1.0);
+    }
+    B[0] = 1.0;
+}
+"""
+        )
+        profile, _ = profile_run(prog, "f", [np.zeros(30), np.zeros(4), 30])
+        tp = detect_task_parallelism(prog, profile, prog.function("f").region_id)
+        assert len(tp.concurrent_tasks) == 2  # loop + tiny store
+        assert len(tp.significant_tasks()) == 1  # the store is noise

@@ -1,0 +1,176 @@
+"""Loop-fusion rewrite and annotation tests."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.engine import analyze
+from repro.runtime import run_program
+from repro.transform import FusionError, annotate, annotated_source, fuse_loops
+
+from conftest import parsed
+
+FUSABLE = """\
+void f(float A[], float B[], float C[], int n) {
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0;
+    }
+    for (int j = 0; j < n; j++) {
+        C[j] = B[j] + 1.0;
+    }
+}
+"""
+
+
+def loops_of(prog, func="f"):
+    return [r.region_id for r in prog.regions.values() if r.kind == "loop"]
+
+
+class TestFuseLoops:
+    def test_fused_program_structure(self):
+        prog = parsed(FUSABLE)
+        lx, ly = loops_of(prog)
+        fused = fuse_loops(prog, lx, ly)
+        remaining = [r for r in fused.regions.values() if r.kind == "loop"]
+        assert len(remaining) == 1
+
+    def test_semantics_preserved(self):
+        prog = parsed(FUSABLE)
+        lx, ly = loops_of(prog)
+        fused = fuse_loops(prog, lx, ly)
+        a = np.arange(10.0)
+        r1 = run_program(prog, "f", [a, np.zeros(10), np.zeros(10), 10])
+        r2 = run_program(fused, "f", [a, np.zeros(10), np.zeros(10), 10])
+        assert np.allclose(r1.arrays["C"], r2.arrays["C"])
+        assert np.allclose(r1.arrays["B"], r2.arrays["B"])
+
+    def test_induction_variable_renamed(self):
+        prog = parsed(FUSABLE)
+        lx, ly = loops_of(prog)
+        fused = fuse_loops(prog, lx, ly)
+        assert "j" not in fused.source
+
+    def test_same_induction_name_ok(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) { A[i] = i * 1.0; }
+    for (int i = 0; i < n; i++) { B[i] = A[i] + 1.0; }
+}
+"""
+        )
+        lx, ly = loops_of(prog)
+        fused = fuse_loops(prog, lx, ly)
+        r = run_program(fused, "f", [np.zeros(6), np.zeros(6), 6])
+        assert np.allclose(r.arrays["B"], np.arange(6.0) + 1)
+
+    def test_mismatched_ranges_rejected(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) { A[i] = i * 1.0; }
+    for (int j = 1; j < n; j++) { B[j] = A[j]; }
+}
+"""
+        )
+        lx, ly = loops_of(prog)
+        with pytest.raises(FusionError):
+            fuse_loops(prog, lx, ly)
+
+    def test_different_bodies_rejected(self):
+        prog = parsed(
+            """\
+void f(float A[], int n, int m) {
+    for (int i = 0; i < n; i++) { A[i] = 1.0; }
+    for (int j = 0; j < m; j++) { A[j] = 2.0; }
+}
+"""
+        )
+        lx, ly = loops_of(prog)
+        with pytest.raises(FusionError):
+            fuse_loops(prog, lx, ly)
+
+    def test_unknown_region_rejected(self):
+        prog = parsed(FUSABLE)
+        with pytest.raises(FusionError):
+            fuse_loops(prog, 998, 999)
+
+    def test_loops_in_different_functions_rejected(self):
+        prog = parsed(
+            """\
+void g(float A[], int n) {
+    for (int i = 0; i < n; i++) { A[i] = 1.0; }
+}
+void f(float A[], int n) {
+    for (int j = 0; j < n; j++) { A[j] = 2.0; }
+}
+"""
+        )
+        regions = [r.region_id for r in prog.regions.values() if r.kind == "loop"]
+        with pytest.raises(FusionError):
+            fuse_loops(prog, regions[0], regions[1])
+
+    def test_fused_program_is_revalidated(self):
+        prog = parsed(FUSABLE)
+        lx, ly = loops_of(prog)
+        fused = fuse_loops(prog, lx, ly)
+        # ids are reassigned and consistent
+        assert fused.stmts
+        assert all(s.stmt_id >= 0 for s in fused.stmts.values())
+
+
+class TestAnnotations:
+    def test_doall_annotation(self):
+        prog = parsed(
+            "void f(float A[], int n) { for (int i = 0; i < n; i++) { A[i] = 1.0; } }"
+        )
+        result = analyze(prog, "f", [[np.zeros(16), 16]])
+        text = annotated_source(result)
+        assert "parallel for" in text
+
+    def test_reduction_annotation_includes_operator(self):
+        prog = parsed(
+            """\
+float f(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+        )
+        result = analyze(prog, "f", [[np.ones(16), 16]])
+        text = annotated_source(result)
+        assert "reduction(+:s)" in text
+
+    def test_pipeline_stage_annotations(self):
+        prog = parsed(
+            """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) { A[i] = i * 1.0; }
+    for (int j = 1; j < n; j++) { B[j] = B[j - 1] + A[j]; }
+}
+"""
+        )
+        result = analyze(prog, "f", [[np.zeros(16), np.zeros(16), 16]])
+        text = annotated_source(result)
+        assert "pipeline stage 1 of 2" in text
+        assert "pipeline stage 2 of 2" in text
+
+    def test_fusion_annotation(self):
+        prog = parsed(FUSABLE)
+        result = analyze(prog, "f", [[np.ones(16), np.zeros(16), np.zeros(16), 16]])
+        text = annotated_source(result)
+        assert "fuse-with next-stage" in text
+
+    def test_task_annotations(self, fib_program):
+        result = analyze(fib_program, "fib", [[10]])
+        text = annotated_source(result)
+        assert "task fork" in text
+        assert "task worker" in text
+        assert "task barrier" in text
+
+    def test_annotation_map_keys_are_stmt_ids(self, fib_program):
+        result = analyze(fib_program, "fib", [[10]])
+        notes = annotate(result)
+        assert all(k in fib_program.stmts for k in notes)

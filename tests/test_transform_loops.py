@@ -1,0 +1,162 @@
+"""Loop peeling and fission tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_program
+from repro.transform import (
+    FissionError,
+    PeelError,
+    fission_loop,
+    peel_first_iteration,
+)
+
+from conftest import parsed
+
+
+def first_loop(prog):
+    return next(r.region_id for r in prog.regions.values() if r.kind == "loop")
+
+
+class TestPeeling:
+    SRC = """\
+void f(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = A[i] * 2.0 + i;
+    }
+}
+"""
+
+    def test_semantics_preserved(self):
+        prog = parsed(self.SRC)
+        peeled = peel_first_iteration(prog, first_loop(prog))
+        a = np.arange(8.0)
+        r1 = run_program(prog, "f", [a, 8])
+        r2 = run_program(peeled, "f", [a, 8])
+        assert np.allclose(r1.arrays["A"], r2.arrays["A"])
+
+    def test_zero_trip_loop_stays_zero_trip(self):
+        prog = parsed(self.SRC)
+        peeled = peel_first_iteration(prog, first_loop(prog))
+        a = np.arange(4.0)
+        r1 = run_program(prog, "f", [a, 0])
+        r2 = run_program(peeled, "f", [a, 0])
+        assert np.allclose(r1.arrays["A"], r2.arrays["A"])
+
+    def test_loop_start_advanced(self):
+        prog = parsed(self.SRC)
+        peeled = peel_first_iteration(prog, first_loop(prog))
+        assert "int i = 1" in peeled.source
+
+    def test_reg_detect_style_alignment(self):
+        """The paper's reg_detect trick: after peeling the first loop's
+        first iteration, the remaining loops align one-to-one."""
+        src = """\
+void f(float mean[], float path[], int n) {
+    for (int i = 0; i < n; i++) {
+        mean[i] = i * 2.0;
+    }
+    for (int i = 1; i < n; i++) {
+        path[i] = path[i - 1] + mean[i];
+    }
+}
+"""
+        prog = parsed(src)
+        peeled = peel_first_iteration(prog, first_loop(prog))
+        r1 = run_program(prog, "f", [np.zeros(8), np.zeros(8), 8])
+        r2 = run_program(peeled, "f", [np.zeros(8), np.zeros(8), 8])
+        assert np.allclose(r1.arrays["path"], r2.arrays["path"])
+        # both remaining loops now start at 1
+        assert peeled.source.count("int i = 1") == 2
+
+    def test_recurrence_peeling_preserved(self):
+        src = """\
+void f(float A[], int n) {
+    for (int i = 1; i < n; i++) {
+        A[i] = A[i - 1] + 1.0;
+    }
+}
+"""
+        prog = parsed(src)
+        peeled = peel_first_iteration(prog, first_loop(prog))
+        r1 = run_program(prog, "f", [np.zeros(8), 8])
+        r2 = run_program(peeled, "f", [np.zeros(8), 8])
+        assert np.allclose(r1.arrays["A"], r2.arrays["A"])
+
+    def test_non_literal_start_rejected(self):
+        prog = parsed(
+            "void f(float A[], int n, int s) { for (int i = s; i < n; i++) { A[i] = 1.0; } }"
+        )
+        with pytest.raises(PeelError):
+            peel_first_iteration(prog, first_loop(prog))
+
+    def test_written_induction_rejected(self):
+        prog = parsed(
+            "void f(float A[], int n) { for (int i = 0; i < n; i++) { A[i] = 1.0; i = i + 0; } }"
+        )
+        with pytest.raises(PeelError):
+            peel_first_iteration(prog, first_loop(prog))
+
+    def test_unknown_region_rejected(self):
+        prog = parsed(self.SRC)
+        with pytest.raises(PeelError):
+            peel_first_iteration(prog, 999)
+
+
+class TestFission:
+    SRC = """\
+void f(float A[], float B[], int n) {
+    for (int i = 0; i < n; i++) {
+        A[i] = i * 2.0;
+        B[i] = A[i] + 1.0;
+    }
+}
+"""
+
+    def test_semantics_preserved(self):
+        prog = parsed(self.SRC)
+        split = fission_loop(prog, first_loop(prog), split_at=1)
+        r1 = run_program(prog, "f", [np.zeros(8), np.zeros(8), 8])
+        r2 = run_program(split, "f", [np.zeros(8), np.zeros(8), 8])
+        assert np.allclose(r1.arrays["B"], r2.arrays["B"])
+
+    def test_two_loops_afterwards(self):
+        prog = parsed(self.SRC)
+        split = fission_loop(prog, first_loop(prog), split_at=1)
+        loops = [r for r in split.regions.values() if r.kind == "loop"]
+        assert len(loops) == 2
+
+    def test_fission_then_detection_sees_pipeline(self):
+        from repro.patterns.engine import analyze, summarize_patterns
+
+        prog = parsed(self.SRC)
+        split = fission_loop(prog, first_loop(prog), split_at=1)
+        result = analyze(split, "f", [[np.zeros(24), np.zeros(24), 24]])
+        assert summarize_patterns(result) in ("Fusion", "Multi-loop pipeline")
+
+    def test_scalar_flow_across_split_rejected(self):
+        prog = parsed(
+            """\
+void f(float A[], int n) {
+    for (int i = 0; i < n; i++) {
+        float t = A[i] * 2.0;
+        A[i] = t + 1.0;
+    }
+}
+"""
+        )
+        with pytest.raises(FissionError):
+            fission_loop(prog, first_loop(prog), split_at=1)
+
+    def test_bad_split_index_rejected(self):
+        prog = parsed(self.SRC)
+        with pytest.raises(FissionError):
+            fission_loop(prog, first_loop(prog), split_at=0)
+        with pytest.raises(FissionError):
+            fission_loop(prog, first_loop(prog), split_at=5)
+
+    def test_induction_crossing_is_fine(self):
+        # the induction variable is read in both halves, which is allowed
+        prog = parsed(self.SRC)
+        split = fission_loop(prog, first_loop(prog), split_at=1)
+        assert split.has_function("f")

@@ -1,0 +1,85 @@
+"""Workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench_programs.workloads import (
+    DISTRIBUTIONS,
+    WORKLOADS,
+    arg_sets_for,
+    matrix,
+    points,
+    vector,
+)
+
+
+class TestVector:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    def test_shape_and_range(self, dist):
+        v = vector(64, dist, seed=1, lo=2.0, hi=5.0)
+        assert v.shape == (64,)
+        assert (v >= 2.0 - 1e-9).all() and (v <= 5.0 + 1e-9).all()
+
+    def test_sorted_is_sorted(self):
+        v = vector(50, "sorted", seed=2)
+        assert (np.diff(v) >= 0).all()
+
+    def test_reversed_is_descending(self):
+        v = vector(50, "reversed", seed=2)
+        assert (np.diff(v) <= 0).all()
+
+    def test_constant_is_constant(self):
+        v = vector(10, "constant")
+        assert np.ptp(v) == 0
+
+    def test_clustered_has_few_distinct_modes(self):
+        v = vector(256, "clustered", seed=3)
+        # rounding to 2 decimals collapses each blob
+        assert len(np.unique(np.round(v, 2))) < 128
+
+    def test_seeded_determinism(self):
+        assert np.array_equal(vector(32, "uniform", seed=9), vector(32, "uniform", seed=9))
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            vector(8, "zigzag")
+
+
+class TestMatrixAndPoints:
+    def test_matrix_shape(self):
+        m = matrix(5, 7, "clustered", seed=1)
+        assert m.shape == (5, 7)
+
+    def test_points_clustered_tighter_than_uniform(self):
+        clustered = points(200, 3, "clustered", seed=4, k=3)
+        uniform = points(200, 3, "uniform", seed=4)
+        # clustered data has smaller mean nearest-centroid spread
+        def spread(data):
+            center = data.mean(axis=0)
+            return np.linalg.norm(data - center, axis=1).std()
+
+        assert clustered.shape == uniform.shape == (200, 3)
+        assert spread(clustered) != spread(uniform)
+
+    def test_points_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            points(10, 2, "spiral")
+
+
+class TestArgSets:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_arg_sets_run(self, name):
+        from repro.bench_programs import get_benchmark
+        from repro.runtime import run_program
+
+        spec = get_benchmark(name)
+        for args in arg_sets_for(name, ("uniform",)):
+            run_program(spec.program, spec.entry, args)
+
+    def test_one_arg_set_per_distribution(self):
+        sets = arg_sets_for("sort", ("uniform", "sorted"))
+        assert len(sets) == 2
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            arg_sets_for("nope", ("uniform",))
