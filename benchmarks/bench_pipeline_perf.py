@@ -1,0 +1,147 @@
+"""End-to-end pipeline performance harness.
+
+Measures wall-clock for every stage of the analysis pipeline — interpret,
+profile, detect, simulate — across the full benchmark registry, plus three
+end-to-end registry sweeps:
+
+* ``cold_serial``   — fresh in-process analysis of all programs,
+* ``warm_cache``    — the same sweep against a pre-populated profile cache
+                      (zero re-interpretation; the two-phase CLI workflow),
+* ``parallel``      — the sweep through ``repro.runtime.parallel``.
+
+Results go to ``benchmarks/output/BENCH_pipeline.json`` together with the
+recorded pre-PR baseline, so the speedup is measured against a fixed
+reference and future changes have a perf trajectory to regress against.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_perf.py
+
+Not collected by pytest (tier-1 stays fast); the quick equivalent is
+``python -m repro bench --smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import os
+import sys
+import tempfile
+import time
+
+OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_pipeline.json"
+
+#: End-to-end serial registry analysis measured on this container at the
+#: seed commit (19f902d), before the fast-path/cache/parallel work: the
+#: mean of three runs of the same sweep `cold_serial` measures below.
+BASELINE = {
+    "seconds": 8.981,
+    "commit": "19f902d",
+    "note": "pre-PR serial registry analysis (per-event sink dispatch, no cache)",
+}
+
+
+def _stage_times() -> tuple[dict, dict]:
+    """Per-stage and per-program wall clock over the whole registry."""
+    from repro.bench_programs.registry import all_benchmarks
+    from repro.patterns.engine import analyze_profile
+    from repro.profiling.runner import profile_runs
+    from repro.runtime.interpreter import Interpreter
+    from repro.sim import plan_and_simulate
+
+    stages = {"interpret": 0.0, "profile": 0.0, "detect": 0.0, "simulate": 0.0}
+    programs = {}
+    for spec in all_benchmarks():
+        program = spec.program
+        arg_sets = spec.arg_sets()
+
+        t0 = time.perf_counter()
+        for args in arg_sets:
+            Interpreter(program, sink=None).run(spec.entry, args)
+        t_interp = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        profile = profile_runs(program, spec.entry, arg_sets)
+        t_profile = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        result = analyze_profile(
+            program, profile,
+            hotspot_threshold=spec.hotspot_threshold, min_pairs=spec.min_pairs,
+        )
+        t_detect = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        plan_and_simulate(result)
+        t_sim = time.perf_counter() - t0
+
+        stages["interpret"] += t_interp
+        stages["profile"] += t_profile
+        stages["detect"] += t_detect
+        stages["simulate"] += t_sim
+        programs[spec.name] = {
+            "interpret": round(t_interp, 4),
+            "profile": round(t_profile, 4),
+            "detect": round(t_detect, 4),
+            "simulate": round(t_sim, 4),
+        }
+    return {k: round(v, 4) for k, v in stages.items()}, programs
+
+
+def _end_to_end() -> dict:
+    from repro.runtime.parallel import analyze_registry
+
+    t0 = time.perf_counter()
+    cold = analyze_registry(parallel=False)
+    cold_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        analyze_registry(parallel=False, cache_dir=cache_dir)  # populate
+        t0 = time.perf_counter()
+        warm = analyze_registry(parallel=False, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = analyze_registry(parallel=True)
+    par_s = time.perf_counter() - t0
+
+    assert cold == warm == par, "end-to-end paths disagree on analysis results"
+    return {
+        "cold_serial": round(cold_s, 4),
+        "warm_cache": round(warm_s, 4),
+        "parallel": round(par_s, 4),
+        "programs": len(cold),
+    }
+
+
+def main() -> int:
+    stages, programs = _stage_times()
+    e2e = _end_to_end()
+    report = {
+        "baseline": BASELINE,
+        "optimized": e2e,
+        "speedup_vs_baseline": {
+            "cold_serial": round(BASELINE["seconds"] / e2e["cold_serial"], 3),
+            "warm_cache": round(BASELINE["seconds"] / e2e["warm_cache"], 3),
+            "parallel": round(BASELINE["seconds"] / e2e["parallel"], 3),
+        },
+        "stages": stages,
+        "per_program": programs,
+        "machine": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+    }
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    best = max(report["speedup_vs_baseline"].values())
+    print(f"\nbest end-to-end speedup vs baseline: {best:.2f}x -> {OUTPUT}")
+    return 0 if best >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from repro.lang.validate import validate_program
 from repro.patterns.engine import AnalysisResult, analyze
 from repro.profiling.hotspots import DEFAULT_THRESHOLD
 from repro.reporting.report import analysis_report
+from repro.runtime.parallel import BenchmarkOutcome, analyze_registry
 
 
 def compile_source(source: str) -> Program:
@@ -44,4 +45,10 @@ def analyze_source(
     )
 
 
-__all__ = ["compile_source", "analyze_source", "analysis_report"]
+__all__ = [
+    "compile_source",
+    "analyze_source",
+    "analysis_report",
+    "analyze_registry",
+    "BenchmarkOutcome",
+]

@@ -67,35 +67,147 @@ def _collect_args(args: argparse.Namespace) -> list:
     return call_args
 
 
+def _make_cache(args: argparse.Namespace):
+    from repro.profiling.cache import ProfileCache, default_cache_root
+
+    if getattr(args, "no_cache", False):
+        return None
+    root = getattr(args, "cache_dir", None)
+    return ProfileCache(root=root if root else default_cache_root())
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Phase 1 of the DiscoPoP workflow: instrumented run -> profile file."""
     from repro.api import compile_source
-    from repro.profiling import profile_runs, save_profile
+    from repro.profiling import save_profile
+    from repro.profiling.cache import cached_profile_runs
+    from repro.profiling.runner import profile_runs
 
     source = open(args.file).read()
     program = compile_source(source)
-    profile = profile_runs(program, args.entry, [_collect_args(args)])
+    cache = _make_cache(args)
+    if cache is not None:
+        profile, hit = cached_profile_runs(
+            program, args.entry, [_collect_args(args)], cache=cache
+        )
+        origin = "cache hit" if hit else "instrumented run"
+    else:
+        profile = profile_runs(program, args.entry, [_collect_args(args)])
+        origin = "instrumented run"
     with open(args.output, "w") as fh:
         save_profile(profile, fh)
     print(
-        f"profile written to {args.output}: {profile.total_cost} instructions, "
+        f"profile written to {args.output} ({origin}): "
+        f"{profile.total_cost} instructions, "
         f"{len(profile.deps)} dependence records"
     )
     return 0
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    """Phase 2: load a saved profile and run the pattern detectors."""
+    """Phase 2: run the pattern detectors over a saved or cached profile.
+
+    With ``--profile`` the given dump is used as-is.  Without it, the
+    content-addressed cache supplies the profile for (source, inputs,
+    config); only on a cache miss is the program re-interpreted.
+    """
     from repro.api import compile_source
     from repro.patterns.engine import analyze_profile
     from repro.profiling import load_profile
+    from repro.profiling.cache import cached_profile_runs
 
     source = open(args.file).read()
     program = compile_source(source)
-    with open(args.profile) as fh:
-        profile = load_profile(fh)
+    if args.profile:
+        with open(args.profile) as fh:
+            profile = load_profile(fh)
+    else:
+        if args.entry is None:
+            print(
+                "detect: --entry (plus any --scalar/--zeros/--rand inputs) is "
+                "required when no --profile file is given",
+                file=sys.stderr,
+            )
+            return 2
+        cache = _make_cache(args)
+        if cache is None:
+            print("detect: --no-cache requires --profile", file=sys.stderr)
+            return 2
+        profile, hit = cached_profile_runs(
+            program, args.entry, [_collect_args(args)], cache=cache
+        )
+        print(f"profile source: {'cache hit' if hit else 'instrumented run'}")
     result = analyze_profile(program, profile, hotspot_threshold=args.threshold)
     print(analysis_report(result, include_source=not args.no_source))
+    return 0
+
+
+_SMOKE_SOURCE = """\
+void kernel(float A[][], float x[], float y[], int n) {
+    for (int i = 0; i < n; i++) {
+        y[i] = 0.0;
+        for (int j = 0; j < n; j++) {
+            y[i] = y[i] + A[i][j] * x[j];
+        }
+    }
+}
+"""
+
+
+def _cmd_bench_smoke(args: argparse.Namespace) -> int:
+    """Perf smoke check: one small program, uncached then cached.
+
+    Exercises the full fast path (interpret -> batched profile -> detect)
+    and the content-addressed cache, asserting a store on the cold run and
+    a hit (with zero re-interpretation) on the warm run.
+    """
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from repro.api import compile_source
+    from repro.patterns.engine import analyze_profile
+    from repro.profiling import profile_digest
+    from repro.profiling.cache import ProfileCache, cached_profile_runs
+
+    program = compile_source(_SMOKE_SOURCE)
+    rng = np.random.default_rng(0)
+    arg_sets = [[rng.random((24, 24)), rng.random(24), rng.random(24), 24]]
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-bench-smoke-")
+    cache = ProfileCache(root=cache_dir)
+
+    t0 = time.perf_counter()
+    cold_profile, cold_hit = cached_profile_runs(
+        program, "kernel", arg_sets, cache=cache
+    )
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_profile, warm_hit = cached_profile_runs(
+        program, "kernel", arg_sets, cache=cache
+    )
+    warm_s = time.perf_counter() - t0
+
+    failures = []
+    if cold_hit:
+        failures.append("cold run unexpectedly hit the cache")
+    if cache.stats.stores != 1:
+        failures.append(f"expected 1 cache store, saw {cache.stats.stores}")
+    if not warm_hit or cache.stats.hits != 1:
+        failures.append("warm run did not hit the cache")
+    if profile_digest(cold_profile) != profile_digest(warm_profile):
+        failures.append("cached profile digest differs from the computed one")
+    result = analyze_profile(program, warm_profile)
+    if not result.hotspots:
+        failures.append("detection over the cached profile found no hotspots")
+
+    print(f"bench --smoke: cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms")
+    print(f"cache: {cache.stats.stores} store(s), {cache.stats.hits} hit(s) at {cache_dir}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: cache exercised; cached and computed profiles identical")
     return 0
 
 
@@ -103,6 +215,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench_programs import analyze_benchmark, get_benchmark
     from repro.sim import plan_and_simulate
 
+    if args.smoke:
+        return _cmd_bench_smoke(args)
+    if args.name is None:
+        print("bench: a benchmark name is required (or use --smoke)", file=sys.stderr)
+        return 2
     spec = get_benchmark(args.name)
     result = analyze_benchmark(args.name)
     print(analysis_report(result, include_source=not args.no_source))
@@ -123,29 +240,27 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table3(_args: argparse.Namespace) -> int:
-    from repro.bench_programs import all_benchmarks, analyze_benchmark
-    from repro.patterns import summarize_patterns
-    from repro.patterns.engine import primary_pattern_share
+def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.reporting.tables import format_table
-    from repro.sim import plan_and_simulate
+    from repro.runtime.parallel import analyze_registry
 
-    rows = []
-    for spec in all_benchmarks():
-        result = analyze_benchmark(spec.name)
-        label = summarize_patterns(result)
-        outcome = plan_and_simulate(result)
-        rows.append(
-            [
-                spec.name,
-                spec.suite,
-                spec.loc,
-                100 * primary_pattern_share(result),
-                outcome.best_speedup,
-                outcome.best_threads,
-                label,
-            ]
-        )
+    outcomes = analyze_registry(
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        parallel=args.parallel,
+    )
+    rows = [
+        [
+            o.name,
+            o.suite,
+            o.loc,
+            100 * o.primary_share,
+            o.best_speedup,
+            o.best_threads,
+            o.label,
+        ]
+        for o in outcomes
+    ]
     print(
         format_table(
             ["Application", "Suite", "LOC", "Hotspot %", "Speedup", "Threads", "Detected Pattern"],
@@ -194,19 +309,39 @@ def main(argv: list[str] | None = None) -> int:
     p_profile.add_argument("--zeros", action=_OrderedArg, dest="zeros")
     p_profile.add_argument("--rand", action=_OrderedArg, dest="rand")
     p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--cache-dir", default=None,
+                           help="profile cache directory (default: "
+                                "$REPRO_PROFILE_CACHE or ~/.cache/repro/profiles)")
+    p_profile.add_argument("--no-cache", action="store_true",
+                           help="always re-run the instrumented interpreter")
     p_profile.set_defaults(func=_cmd_profile)
 
     p_detect = sub.add_parser(
-        "detect", help="phase 2: run pattern detection over a saved profile"
+        "detect", help="phase 2: run pattern detection over a saved or cached profile"
     )
     p_detect.add_argument("file")
-    p_detect.add_argument("--profile", required=True)
+    p_detect.add_argument("--profile", default=None,
+                          help="profile dump from `profile -o`; omit to use "
+                               "the content-addressed cache")
+    p_detect.add_argument("--entry", default=None,
+                          help="entry function (cached mode, no --profile)")
+    p_detect.add_argument("--scalar", action=_OrderedArg, dest="scalar")
+    p_detect.add_argument("--zeros", action=_OrderedArg, dest="zeros")
+    p_detect.add_argument("--rand", action=_OrderedArg, dest="rand")
+    p_detect.add_argument("--seed", type=int, default=0)
+    p_detect.add_argument("--cache-dir", default=None)
+    p_detect.add_argument("--no-cache", action="store_true")
     p_detect.add_argument("--threshold", type=float, default=0.10)
     p_detect.add_argument("--no-source", action="store_true")
     p_detect.set_defaults(func=_cmd_detect)
 
     p_bench = sub.add_parser("bench", help="analyze a registered benchmark")
-    p_bench.add_argument("name")
+    p_bench.add_argument("name", nargs="?", default=None)
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="fast perf smoke check: one small program through "
+                              "the uncached and cached paths")
+    p_bench.add_argument("--cache-dir", default=None,
+                         help="cache directory for --smoke (default: fresh temp dir)")
     p_bench.add_argument("--no-source", action="store_true")
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -214,6 +349,12 @@ def main(argv: list[str] | None = None) -> int:
     p_list.set_defaults(func=_cmd_list)
 
     p_t3 = sub.add_parser("table3", help="regenerate the Table III summary")
+    p_t3.add_argument("--parallel", action=argparse.BooleanOptionalAction, default=True,
+                      help="fan per-benchmark analyses over worker processes")
+    p_t3.add_argument("--jobs", "-j", type=int, default=None,
+                      help="worker process count (default: cpu count)")
+    p_t3.add_argument("--cache-dir", default=None,
+                      help="shared profile cache directory for the workers")
     p_t3.set_defaults(func=_cmd_table3)
 
     p_exp = sub.add_parser(

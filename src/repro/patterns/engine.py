@@ -13,7 +13,10 @@ evaluation section exhibits (fusion ≻ multi-loop pipeline ≻ task parallelism
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.profiling.cache import ProfileCache
 
 from repro.lang.ast_nodes import Program
 from repro.patterns.doall import classify_loop
@@ -130,11 +133,25 @@ def analyze(
     min_pairs: int = 3,
     record_calltree: bool = True,
     max_cost: int = 500_000_000,
+    cache: "ProfileCache | None" = None,
 ) -> AnalysisResult:
-    """Profile ``entry`` with each argument set and run all detectors."""
-    profile = profile_runs(
-        program, entry, arg_sets, record_calltree=record_calltree, max_cost=max_cost
-    )
+    """Profile ``entry`` with each argument set and run all detectors.
+
+    Pass a :class:`repro.profiling.cache.ProfileCache` to skip the
+    instrumented run entirely when an identical (source, inputs, config)
+    profile is already on disk.
+    """
+    if cache is not None:
+        from repro.profiling.cache import cached_profile_runs
+
+        profile, _ = cached_profile_runs(
+            program, entry, arg_sets,
+            record_calltree=record_calltree, max_cost=max_cost, cache=cache,
+        )
+    else:
+        profile = profile_runs(
+            program, entry, arg_sets, record_calltree=record_calltree, max_cost=max_cost
+        )
     return analyze_profile(
         program, profile, hotspot_threshold=hotspot_threshold, min_pairs=min_pairs
     )

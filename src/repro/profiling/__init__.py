@@ -34,8 +34,15 @@ from repro.profiling.model import (
 from repro.profiling.profiler import Profiler
 from repro.profiling.runner import profile_run, profile_runs
 from repro.profiling.hotspots import hotspot_regions, region_coverage
+from repro.profiling.cache import (
+    ProfileCache,
+    cached_profile_runs,
+    profile_cache_key,
+)
 from repro.profiling.serialize import (
+    canonical_profile_json,
     load_profile,
+    profile_digest,
     profile_from_dict,
     profile_to_dict,
     save_profile,
@@ -46,15 +53,20 @@ __all__ = [
     "DepKey",
     "PETNode",
     "Profile",
+    "ProfileCache",
     "Profiler",
     "RAW",
     "WAR",
     "WAW",
+    "cached_profile_runs",
+    "profile_cache_key",
     "profile_run",
     "profile_runs",
     "hotspot_regions",
     "region_coverage",
+    "canonical_profile_json",
     "load_profile",
+    "profile_digest",
     "profile_from_dict",
     "profile_to_dict",
     "save_profile",

@@ -1,0 +1,206 @@
+"""Content-addressed on-disk profile cache.
+
+DiscoPoP decouples the expensive instrumented run from the cheap analysis
+phases by dumping profiler output to files; this module adds the missing
+piece for iterative use — **automatic invalidation**.  A cached profile is
+stored under a key that is the SHA-256 of everything that determines its
+contents:
+
+* the program source text and the entry function name,
+* every argument set, canonically encoded (numpy arrays contribute dtype,
+  shape, and raw bytes; scalars their ``repr``),
+* the profiler configuration (``record_calltree``, ``max_cost``), and
+* the profile format and cache layout versions.
+
+Change any input and the key changes, so stale entries are simply never
+hit; matching source + inputs + config always replay the exact profile the
+interpreter would produce (profiles are deterministic).  Entries live under
+``<root>/<key[:2]>/<key>.json`` as the canonical deterministic JSON dump
+from :mod:`repro.profiling.serialize`.
+
+The root directory defaults to ``$REPRO_PROFILE_CACHE`` or
+``~/.cache/repro/profiles``.  Writes are atomic (temp file + ``os.replace``)
+so concurrent processes — e.g. the workers of
+:mod:`repro.runtime.parallel` — can share one cache; a corrupted or
+truncated entry is deleted and treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.lang.ast_nodes import Program
+from repro.profiling.model import Profile
+from repro.profiling.runner import profile_runs
+from repro.profiling.serialize import (
+    _FORMAT_VERSION,
+    canonical_profile_json,
+    profile_from_dict,
+)
+
+_CACHE_LAYOUT_VERSION = 1
+
+_ENV_VAR = "REPRO_PROFILE_CACHE"
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "profiles"
+
+
+def _encode_arg(arg: Any, h: "hashlib._Hash") -> None:
+    """Feed one argument's canonical encoding into *h*.
+
+    Arrays (numpy or nested lists) contribute dtype, shape, and raw bytes;
+    scalars contribute their repr.  Distinct types never collide because
+    each encoding starts with a distinct tag.
+    """
+    if isinstance(arg, np.ndarray):
+        h.update(b"nd:")
+        h.update(str(arg.dtype).encode())
+        h.update(repr(arg.shape).encode())
+        h.update(np.ascontiguousarray(arg).tobytes())
+    elif isinstance(arg, (list, tuple)):
+        arr = np.asarray(arg)
+        if arr.dtype == object:  # ragged / mixed: fall back to repr
+            h.update(b"py:")
+            h.update(repr(arg).encode())
+        else:
+            _encode_arg(arr, h)
+    elif isinstance(arg, (bool, int, float, str)):
+        h.update(f"{type(arg).__name__}:{arg!r}".encode())
+    else:
+        h.update(b"py:")
+        h.update(repr(arg).encode())
+
+
+def profile_cache_key(
+    source: str,
+    entry: str,
+    arg_sets: Sequence[Sequence[Any]],
+    record_calltree: bool = True,
+    max_cost: int = 500_000_000,
+) -> str:
+    """The content address for a profile of ``entry(*args)`` over *source*."""
+    h = hashlib.sha256()
+    h.update(f"repro-profile-cache:{_CACHE_LAYOUT_VERSION}:{_FORMAT_VERSION}\n".encode())
+    h.update(source.encode("utf-8"))
+    h.update(b"\x00entry:")
+    h.update(entry.encode("utf-8"))
+    h.update(f"\x00config:calltree={record_calltree}:max_cost={max_cost}".encode())
+    for args in arg_sets:
+        h.update(b"\x00argset\x00")
+        for arg in args:
+            h.update(b"\x00arg\x00")
+            _encode_arg(arg, h)
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0  # corrupted entries removed
+
+
+@dataclass
+class ProfileCache:
+    """Filesystem-backed content-addressed store of :class:`Profile` dumps."""
+
+    root: Path = field(default_factory=default_cache_root)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Profile | None:
+        """Return the cached profile for *key*, or None on miss.
+
+        A file that fails to parse (truncated write, disk corruption, or an
+        incompatible format version) is removed and reported as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
+            self.stats.misses += 1
+            return None
+        try:
+            profile = profile_from_dict(json.loads(text))
+        except (ValueError, KeyError, TypeError, IndexError):
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return profile
+
+    def store(self, key: str, profile: Profile) -> Path:
+        """Persist *profile* under *key* atomically; return its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_profile_json(profile))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+
+def cached_profile_runs(
+    program: Program,
+    entry: str,
+    arg_sets: Sequence[Sequence[Any]],
+    record_calltree: bool = True,
+    max_cost: int = 500_000_000,
+    cache: ProfileCache | None = None,
+) -> tuple[Profile, bool]:
+    """Like :func:`repro.profiling.runner.profile_runs`, but cache-backed.
+
+    Returns ``(profile, was_hit)``.  On a hit the interpreter never runs; on
+    a miss the merged profile is computed and stored before returning.
+    """
+    if cache is None:
+        cache = ProfileCache()
+    # Programs assembled via ProgramBuilder have no source text; their AST
+    # repr is deterministic and serves as the content to hash instead.
+    source = program.source or repr(program)
+    key = profile_cache_key(
+        source, entry, arg_sets,
+        record_calltree=record_calltree, max_cost=max_cost,
+    )
+    profile = cache.load(key)
+    if profile is not None:
+        return profile, True
+    profile = profile_runs(
+        program, entry, arg_sets,
+        record_calltree=record_calltree, max_cost=max_cost,
+    )
+    cache.store(key, profile)
+    return profile, False

@@ -42,7 +42,7 @@ class DepKey(NamedTuple):
     dst_site: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PETNode:
     """A node of the Program Execution Tree.
 
@@ -88,7 +88,7 @@ class PETNode:
         return self.total_trips / self.invocations if self.invocations else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class CallNode:
     """A node of the dynamic activation tree (functions *and* loops).
 
@@ -113,7 +113,7 @@ class CallNode:
             yield from child.walk()
 
 
-@dataclass
+@dataclass(slots=True)
 class Profile:
     """Aggregated result of one or more instrumented runs."""
 

@@ -26,12 +26,51 @@ shadow-memory sweep:
 * **Call tree** — the full dynamic activation tree with inclusive costs and
   per-iteration loop costs, used for work/span speedup estimation and the
   pipeline schedule simulator.
+
+Fast path
+---------
+The profiler receives events in chunks through :meth:`Profiler.consume_batch`
+(see ``repro.runtime.events``): the read/write/cost/stmt/iteration handlers
+are inlined in one loop with all per-event state hoisted into locals, which
+is substantially faster than one method call per event.  The per-event
+``Sink`` methods remain as the reference implementation (and for sinks
+driven without batching); both paths share the same bookkeeping structures,
+so interleaving them is safe.
+
+Three shadow-state optimizations keep the per-access work low without
+changing any observable result:
+
+* context snapshots (``_ids_t``/``_iters_t``/``_sites_t``) are immutable
+  tuples rebuilt only on region transitions, so shadow-memory entries share
+  them instead of copying stacks per access;
+* the divergence scan between a shadow entry's context and the current one
+  short-circuits on tuple identity (the overwhelmingly common case: both
+  endpooints inside the same activation set);
+* the per-loop access tables (``loop_accessed``/``loop_var_reads``/
+  ``loop_var_writes``) are updated once per distinct ``(line, var,
+  direction)`` per loop-stack shape via ``_touch_memo``, and the
+  per-iteration first-touch sets are scanned innermost-out with early exit —
+  an address recorded at a loop level is by construction already recorded at
+  every enclosing level.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.profiling.model import RAW, WAR, WAW, CallNode, DepKey, PETNode, Profile
-from repro.runtime.events import Sink
+from repro.runtime.events import (
+    EV_COST,
+    EV_ENTER_FUNC,
+    EV_ENTER_LOOP,
+    EV_EXIT_FUNC,
+    EV_EXIT_LOOP,
+    EV_ITER,
+    EV_READ,
+    EV_STMT,
+    EV_WRITE,
+    Sink,
+)
 
 _NO_ITER = -1
 
@@ -59,6 +98,10 @@ class Profiler(Sink):
         self._last_read: dict[int, tuple] = {}
         # pair first-read bookkeeping: (reader_act, writer_loop, addr)
         self._pair_seen: set[tuple[int, int, int]] = set()
+        # aggregated dependences under plain-tuple keys; materialized into
+        # DepKey records once at finish() (NamedTuple construction per event
+        # is measurable on the hot path)
+        self._deps_raw: dict[tuple, int] = {}
         # PET
         self._pet_counter = 0
         self._pet_stack: list[PETNode] = []
@@ -83,6 +126,9 @@ class Profiler(Sink):
         # indices of the loop levels within the stacks (skips function
         # levels in the per-event _touch sweep)
         self._loop_idx: list[int] = []
+        # (line, var, is_write) triples whose loop access tables are already
+        # up to date for the current loop stack; cleared on loop entry/exit
+        self._touch_memo: set[tuple[int, str, bool]] = set()
 
     # ------------------------------------------------------------------
     # region transitions
@@ -99,6 +145,7 @@ class Profiler(Sink):
         self._seen.append(set() if kind == "loop" else None)
         if kind == "loop":
             self._loop_idx.append(len(self._kinds) - 1)
+            self._touch_memo.clear()
         self._ids_t = tuple(self._ids)
         self._iters_t = tuple(self._iters)
         self._sites_t = tuple(self._sites)
@@ -161,6 +208,7 @@ class Profiler(Sink):
         self._seen.pop()
         if kind == "loop":
             self._loop_idx.pop()
+            self._touch_memo.clear()
         self._ids_t = tuple(self._ids)
         self._iters_t = tuple(self._iters)
         self._sites_t = tuple(self._sites)
@@ -238,26 +286,33 @@ class Profiler(Sink):
         statics = self._statics
         seen = self._seen
         profile = self.profile
-        for i in self._loop_idx:
-            key = (statics[i], var)
-            profile.loop_accessed.add(key)
+        loop_idx = self._loop_idx
+        memo_key = (line, var, is_write)
+        if memo_key not in self._touch_memo:
+            self._touch_memo.add(memo_key)
             if is_write:
-                lines = profile.loop_var_writes.get(key)
-                if lines is None:
-                    profile.loop_var_writes[key] = {line}
-                else:
-                    lines.add(line)
+                table = profile.loop_var_writes
             else:
-                lines = profile.loop_var_reads.get(key)
+                table = profile.loop_var_reads
+            for i in loop_idx:
+                key = (statics[i], var)
+                profile.loop_accessed.add(key)
+                lines = table.get(key)
                 if lines is None:
-                    profile.loop_var_reads[key] = {line}
+                    table[key] = {line}
                 else:
                     lines.add(line)
+        # first-touch per iteration, innermost-out: membership at a level
+        # implies membership at every enclosing level, so stop at the first
+        # level that already has the address.
+        read_first = profile.read_first
+        for i in reversed(loop_idx):
             level_seen = seen[i]
-            if addr not in level_seen:
-                level_seen.add(addr)
-                if not is_write:
-                    profile.read_first.add(key)
+            if addr in level_seen:
+                break
+            level_seen.add(addr)
+            if not is_write:
+                read_first.add((statics[i], var))
 
     def _record_dep(
         self,
@@ -270,10 +325,13 @@ class Profiler(Sink):
         var: str,
     ) -> None:
         p_ids, p_iters, p_sites, p_line, p_var = prev
-        limit = min(len(p_ids), len(cur_ids))
-        d = 0
-        while d < limit and p_ids[d] == cur_ids[d]:
-            d += 1
+        if p_ids is cur_ids:
+            d = len(p_ids)
+        else:
+            limit = min(len(p_ids), len(cur_ids))
+            d = 0
+            while d < limit and p_ids[d] == cur_ids[d]:
+                d += 1
         if d == 0:
             return
         m = d - 1
@@ -286,10 +344,8 @@ class Profiler(Sink):
             and cur_iters[m] != _NO_ITER
         ):
             carrier = region
-        key = DepKey(
-            kind, p_var, region, carrier, p_line, line, p_sites[m], cur_sites[m]
-        )
-        deps = self.profile.deps
+        key = (kind, p_var, region, carrier, p_line, line, p_sites[m], cur_sites[m])
+        deps = self._deps_raw
         deps[key] = deps.get(key, 0) + 1
 
     def _record_pair(
@@ -300,6 +356,8 @@ class Profiler(Sink):
         cur_iters: tuple,
     ) -> None:
         p_ids, p_iters, _p_sites, _p_line, _p_var = prev
+        if p_ids is cur_ids:
+            return  # same context: stacks cannot diverge
         limit = min(len(p_ids), len(cur_ids))
         d = 0
         while d < limit and p_ids[d] == cur_ids[d]:
@@ -353,9 +411,204 @@ class Profiler(Sink):
         self._touch(addr, var, line, is_write=True)
 
     # ------------------------------------------------------------------
+    # batched fast path
+    # ------------------------------------------------------------------
+
+    def consume_batch(self, events: Sequence[tuple]) -> None:
+        """Process a chunk of interpreter events with hoisted state.
+
+        Semantically identical to dispatching each event to the per-event
+        handlers above; the read path (the hottest) is fully inlined,
+        including RAW dependence and multi-loop iteration-pair recording.
+        """
+        profile = self.profile
+        deps = self._deps_raw
+        last_write = self._last_write
+        last_read = self._last_read
+        act_info = self._act_info
+        pair_seen = self._pair_seen
+        pairs = profile.pairs
+        loop_accessed = profile.loop_accessed
+        loop_var_reads = profile.loop_var_reads
+        read_first = profile.read_first
+        touch_memo = self._touch_memo
+        line_costs = profile.line_costs
+        site_costs = profile.site_costs
+        array_addrs = self._array_addrs
+        statics = self._statics
+        seen = self._seen
+        loop_idx = self._loop_idx
+        iters = self._iters
+        sites = self._sites
+        act_costs = self._act_costs
+        pet_stack = self._pet_stack
+        ct_stack = self._ct_stack
+        iter_marks = self._iter_marks
+        ids_t = self._ids_t
+        iters_t = self._iters_t
+        sites_t = self._sites_t
+        for ev in events:
+            tag = ev[0]
+            if tag == EV_READ:
+                _, addr, var, line, element = ev
+                if element:
+                    array_addrs.add(addr)
+                    profile.array_accesses += 1
+                prev = last_write.get(addr)
+                if prev is not None:
+                    p_ids = prev[0]
+                    if p_ids is ids_t:
+                        d = len(p_ids)
+                    else:
+                        limit = min(len(p_ids), len(ids_t))
+                        d = 0
+                        while d < limit and p_ids[d] == ids_t[d]:
+                            d += 1
+                    if d:
+                        p_iters = prev[1]
+                        m = d - 1
+                        region, region_kind = act_info[p_ids[m]]
+                        carrier = None
+                        if region_kind == "loop":
+                            pim = p_iters[m]
+                            cim = iters_t[m]
+                            if pim != cim and pim != _NO_ITER and cim != _NO_ITER:
+                                carrier = region
+                        key = (
+                            RAW, prev[4], region, carrier,
+                            prev[3], line, prev[2][m], sites_t[m],
+                        )
+                        count = deps.get(key)
+                        deps[key] = 1 if count is None else count + 1
+                        # multi-loop iteration pair: only possible when the
+                        # two context stacks diverge below the common prefix
+                        if d < len(p_ids) and d < len(ids_t):
+                            w_static, w_kind = act_info[p_ids[d]]
+                            r_static, r_kind = act_info[ids_t[d]]
+                            if (
+                                w_kind == "loop"
+                                and r_kind == "loop"
+                                and w_static != r_static
+                            ):
+                                ix = p_iters[d]
+                                iy = iters_t[d]
+                                if ix != _NO_ITER and iy != _NO_ITER:
+                                    skey = (ids_t[d], w_static, addr)
+                                    if skey not in pair_seen:
+                                        pair_seen.add(skey)
+                                        pk = (w_static, r_static)
+                                        lst = pairs.get(pk)
+                                        if lst is None:
+                                            pairs[pk] = [(ix, iy)]
+                                        else:
+                                            lst.append((ix, iy))
+                last_read[addr] = (ids_t, iters_t, sites_t, line, var)
+                mkey = (line, var, False)
+                if mkey not in touch_memo:
+                    touch_memo.add(mkey)
+                    for i in loop_idx:
+                        k = (statics[i], var)
+                        loop_accessed.add(k)
+                        lines = loop_var_reads.get(k)
+                        if lines is None:
+                            loop_var_reads[k] = {line}
+                        else:
+                            lines.add(line)
+                for i in reversed(loop_idx):
+                    level_seen = seen[i]
+                    if addr in level_seen:
+                        break
+                    level_seen.add(addr)
+                    read_first.add((statics[i], var))
+            elif tag == EV_WRITE:
+                _, addr, var, line, element = ev
+                if element:
+                    array_addrs.add(addr)
+                    profile.array_accesses += 1
+                prev = last_write.get(addr)
+                if prev is not None:
+                    self._record_dep(WAW, prev, ids_t, iters_t, sites_t, line, var)
+                prev = last_read.get(addr)
+                if prev is not None:
+                    self._record_dep(WAR, prev, ids_t, iters_t, sites_t, line, var)
+                last_write[addr] = (ids_t, iters_t, sites_t, line, var)
+                mkey = (line, var, True)
+                if mkey not in touch_memo:
+                    touch_memo.add(mkey)
+                    loop_var_writes = profile.loop_var_writes
+                    for i in loop_idx:
+                        k = (statics[i], var)
+                        loop_accessed.add(k)
+                        lines = loop_var_writes.get(k)
+                        if lines is None:
+                            loop_var_writes[k] = {line}
+                        else:
+                            lines.add(line)
+                for i in reversed(loop_idx):
+                    level_seen = seen[i]
+                    if addr in level_seen:
+                        break
+                    level_seen.add(addr)
+            elif tag == EV_COST:
+                line = ev[1]
+                amount = ev[2]
+                profile.total_cost += amount
+                count = line_costs.get(line)
+                line_costs[line] = amount if count is None else count + amount
+                if act_costs:
+                    act_costs[-1] += amount
+                    pet_stack[-1].exclusive_cost += amount
+                    node = ct_stack[-1]
+                    if node is not None:
+                        node.exclusive_cost += amount
+                    k = (statics[-1], line)
+                    count = site_costs.get(k)
+                    site_costs[k] = amount if count is None else count + amount
+                else:
+                    self._pre_cost += amount
+            elif tag == EV_STMT:
+                line = ev[1]
+                if sites and sites[-1] != line:
+                    sites[-1] = line
+                    sites_t = sites_t[:-1] + (line,)
+                    self._sites_t = sites_t
+            elif tag == EV_ITER:
+                index = ev[2]
+                iters[-1] = index
+                iters_t = iters_t[:-1] + (index,)
+                self._iters_t = iters_t
+                seen[-1] = set()
+                node = ct_stack[-1]
+                if node is not None and index > 0:
+                    acc = act_costs[-1]
+                    node.per_iter_cost.append(acc - iter_marks[-1])
+                    iter_marks[-1] = acc
+            else:
+                if tag == EV_ENTER_FUNC:
+                    self._enter(ev[1], ev[2], "function", ev[3], ev[3])
+                elif tag == EV_EXIT_FUNC:
+                    self._exit()
+                elif tag == EV_ENTER_LOOP:
+                    self._enter(ev[1], ev[2], "loop", ev[3], ev[3])
+                elif tag == EV_EXIT_LOOP:
+                    self._exit(ev[3])
+                else:  # pragma: no cover - exhaustiveness guard
+                    raise ValueError(f"unknown event tag {tag!r}")
+                # region transitions rebuild the context snapshots
+                ids_t = self._ids_t
+                iters_t = self._iters_t
+                sites_t = self._sites_t
+
+    # ------------------------------------------------------------------
 
     def finish(self) -> None:
         profile = self.profile
+        if self._deps_raw:
+            deps = profile.deps
+            for key, count in self._deps_raw.items():
+                dep = DepKey(*key)
+                deps[dep] = deps.get(dep, 0) + count
+            self._deps_raw = {}
         profile.loop_trips = {k: tuple(v) for k, v in self._trips.items()}
         profile.unique_array_addresses = len(self._array_addrs)
         if profile.pet is not None:

@@ -5,10 +5,20 @@ analysis phases; this module provides the same workflow: a
 :class:`Profile` round-trips through a JSON-compatible dict, so profiling
 (expensive) can be decoupled from detection (cheap) and profiles can be
 archived next to the inputs that produced them.
+
+Serialization is **deterministic**: every collection keyed by unordered or
+insertion-ordered structures (dependence edges, per-loop access tables,
+site costs, trip counts) is emitted in sorted order and dict keys are
+sorted, so two profiles with equal contents produce byte-identical dumps
+regardless of the event order or process that built them.  That property is
+what lets the content-addressed cache (``repro.profiling.cache``) and the
+parallel orchestrator (``repro.runtime.parallel``) compare profiles by
+digest.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, IO
 
@@ -17,32 +27,57 @@ from repro.profiling.model import CallNode, DepKey, PETNode, Profile
 _FORMAT_VERSION = 1
 
 
+def _dep_sort_key(key: DepKey) -> tuple:
+    # `carrier` is None for loop-independent edges; map it below any real
+    # region id so mixed edges order deterministically.
+    return (
+        key.kind,
+        key.var,
+        key.region,
+        -1 if key.carrier is None else key.carrier,
+        key.src_line,
+        key.dst_line,
+        key.src_site,
+        key.dst_site,
+    )
+
+
 def profile_to_dict(profile: Profile) -> dict[str, Any]:
-    """Convert *profile* to a JSON-compatible dict."""
+    """Convert *profile* to a JSON-compatible dict (deterministic order)."""
     return {
         "version": _FORMAT_VERSION,
         "total_cost": profile.total_cost,
         "runs": profile.runs,
         "unique_array_addresses": profile.unique_array_addresses,
         "array_accesses": profile.array_accesses,
-        "deps": [[list(key), count] for key, count in profile.deps.items()],
+        "deps": [
+            [list(key), profile.deps[key]]
+            for key in sorted(profile.deps, key=_dep_sort_key)
+        ],
         "loop_var_writes": [
-            [loop, var, sorted(lines)]
-            for (loop, var), lines in profile.loop_var_writes.items()
+            [loop, var, sorted(profile.loop_var_writes[(loop, var)])]
+            for loop, var in sorted(profile.loop_var_writes)
         ],
         "loop_var_reads": [
-            [loop, var, sorted(lines)]
-            for (loop, var), lines in profile.loop_var_reads.items()
+            [loop, var, sorted(profile.loop_var_reads[(loop, var)])]
+            for loop, var in sorted(profile.loop_var_reads)
         ],
         "read_first": sorted(list(t) for t in profile.read_first),
         "loop_accessed": sorted(list(t) for t in profile.loop_accessed),
+        # Pair lists keep their (deterministic) discovery order — the fit in
+        # the multi-loop pipeline detector consumes them as a multiset, but
+        # re-sorting would hide ordering bugs in the profiler itself.
         "pairs": [
-            [list(key), [list(p) for p in pairs]]
-            for key, pairs in profile.pairs.items()
+            [list(key), [list(p) for p in profile.pairs[key]]]
+            for key in sorted(profile.pairs)
         ],
         "line_costs": sorted(profile.line_costs.items()),
-        "site_costs": [[list(k), v] for k, v in profile.site_costs.items()],
-        "loop_trips": [[loop, list(v)] for loop, v in profile.loop_trips.items()],
+        "site_costs": [
+            [list(k), profile.site_costs[k]] for k in sorted(profile.site_costs)
+        ],
+        "loop_trips": [
+            [loop, list(profile.loop_trips[loop])] for loop in sorted(profile.loop_trips)
+        ],
         "pet": _pet_to_dict(profile.pet),
         "calltree": _calltree_to_dict(profile.calltree),
     }
@@ -83,13 +118,30 @@ def profile_from_dict(data: dict[str, Any]) -> Profile:
 
 
 def save_profile(profile: Profile, fh: IO[str]) -> None:
-    """Write *profile* as JSON to an open text file."""
-    json.dump(profile_to_dict(profile), fh)
+    """Write *profile* as JSON to an open text file (byte-deterministic)."""
+    fh.write(canonical_profile_json(profile))
 
 
 def load_profile(fh: IO[str]) -> Profile:
     """Read a profile written by :func:`save_profile`."""
     return profile_from_dict(json.load(fh))
+
+
+def canonical_profile_json(profile: Profile) -> str:
+    """The canonical (byte-deterministic) JSON text for *profile*.
+
+    Equal profiles serialize to equal bytes: collections are pre-sorted by
+    :func:`profile_to_dict` and keys are sorted here, with a fixed compact
+    separator style.
+    """
+    return json.dumps(
+        profile_to_dict(profile), sort_keys=True, separators=(",", ":")
+    )
+
+
+def profile_digest(profile: Profile) -> str:
+    """SHA-256 hex digest of the canonical JSON — a content address."""
+    return hashlib.sha256(canonical_profile_json(profile).encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------

@@ -54,9 +54,39 @@ from repro.lang.ast_nodes import (
     While,
 )
 from repro.runtime import costs
-from repro.runtime.events import Sink
+from repro.runtime.events import (
+    EV_COST,
+    EV_ENTER_FUNC,
+    EV_ENTER_LOOP,
+    EV_EXIT_FUNC,
+    EV_EXIT_LOOP,
+    EV_ITER,
+    EV_READ,
+    EV_STMT,
+    EV_WRITE,
+    Sink,
+)
 from repro.runtime.intrinsics import INTRINSICS
 from repro.runtime.values import AddressSpace, ArrayValue, ScalarCell
+
+# Cost constants hoisted to module level: attribute lookups on the `costs`
+# module are measurable in the per-expression hot path.
+_LOAD = costs.LOAD
+_STORE = costs.STORE
+_ARITH = costs.ARITH
+_COMPARE = costs.COMPARE
+_UNARY = costs.UNARY
+_BRANCH = costs.BRANCH
+_INDEX = costs.INDEX
+_CALL = costs.CALL
+_RETURN = costs.RETURN
+
+#: Flush the event buffer to the sink once it reaches this many events.
+#: Checked at statement granularity, so the buffer can overshoot by one
+#: statement's worth of events — never unboundedly.
+EVENT_CHUNK = 8192
+
+_CMP_OPS = frozenset(("==", "!=", "<", "<=", ">", ">="))
 
 
 class _ReturnSignal(Exception):
@@ -72,7 +102,7 @@ class _ContinueSignal(Exception):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class _Frame:
     """One function activation: flat name table plus per-decl-site cells."""
 
@@ -125,6 +155,10 @@ class Interpreter:
         self._acc_cost = 0
         self._next_activation = 0
         self._functions = {f.name: f for f in program.functions}
+        # Buffered event fast path: instead of one sink method call per
+        # event, tagged tuples accumulate here and flush to the sink in
+        # chunks (order preserved).  Unused when no sink is attached.
+        self._events: list[tuple] = []
         self._init_globals()
 
     # ------------------------------------------------------------------
@@ -146,8 +180,13 @@ class Interpreter:
 
     def _flush(self) -> None:
         if self.sink is not None and self._acc_cost:
-            self.sink.on_cost(self._acc_line, self._acc_cost)
+            self._events.append((EV_COST, self._acc_line, self._acc_cost))
         self._acc_cost = 0
+
+    def _flush_events(self) -> None:
+        if self._events:
+            self.sink.consume_batch(self._events)
+            self._events.clear()
 
     def _new_activation(self) -> int:
         self._next_activation += 1
@@ -249,6 +288,7 @@ class Interpreter:
             sys.setrecursionlimit(old_limit)
         self._flush()
         if self.sink is not None:
+            self._flush_events()
             self.sink.finish()
         return RunResult(
             value=value,
@@ -272,14 +312,17 @@ class Interpreter:
         call_line: int,
     ) -> Any:
         frame = _Frame(func=func)
-        self._charge(call_line, costs.CALL)
+        self._charge(call_line, _CALL)
         self._flush()
         activation = self._new_activation()
         if self.sink is not None:
-            self.sink.enter_function(func.region_id, activation, call_line)
+            events = self._events
+            if len(events) >= EVENT_CHUNK:
+                self._flush_events()  # clears in place; `events` stays bound
+            events.append((EV_ENTER_FUNC, func.region_id, activation, call_line))
             # Anchor the new activation's site at the signature line so the
             # parameter stores below are not attributed to the call site.
-            self.sink.on_stmt(func.line)
+            events.append((EV_STMT, func.line))
         try:
             for param, value in zip(func.params, bound):
                 if param.is_array or param.by_ref:
@@ -290,19 +333,21 @@ class Interpreter:
                     )
                     frame.vars[param.name] = cell
                     if self.sink is not None:
-                        self.sink.on_write(cell.addr, param.name, func.line)
-                    self._charge(func.line, costs.STORE)
+                        self._events.append(
+                            (EV_WRITE, cell.addr, param.name, func.line, False)
+                        )
+                    self._charge(func.line, _STORE)
             result: Any = None
             try:
                 self._exec_body(func.body, frame)
             except _ReturnSignal as sig:
                 result = sig.value
-            self._charge(func.line, costs.RETURN)
+            self._charge(func.line, _RETURN)
             return result
         finally:
             self._flush()
             if self.sink is not None:
-                self.sink.exit_function(func.region_id, activation)
+                self._events.append((EV_EXIT_FUNC, func.region_id, activation))
 
     def _call(self, call: Call, frame: _Frame) -> Any:
         if call.name in INTRINSICS:
@@ -370,7 +415,10 @@ class Interpreter:
 
     def _exec_stmt(self, stmt: Stmt, frame: _Frame) -> None:
         if self.sink is not None:
-            self.sink.on_stmt(stmt.line)
+            events = self._events
+            if len(events) >= EVENT_CHUNK:
+                self._flush_events()  # clears in place; `events` stays bound
+            events.append((EV_STMT, stmt.line))
         kind = type(stmt)
         if kind is Assign:
             self._exec_assign(stmt, frame)
@@ -378,7 +426,7 @@ class Interpreter:
             self._exec_decl(stmt, frame)
         elif kind is If:
             cond = self._eval(stmt.cond, frame)
-            self._charge(stmt.line, costs.BRANCH)
+            self._charge(stmt.line, _BRANCH)
             if cond:
                 self._exec_body(stmt.then_body, frame)
             else:
@@ -417,8 +465,8 @@ class Interpreter:
             value = self._eval(decl.init, frame)
             slot.value = int(value) if decl.type == "int" else float(value)
             if self.sink is not None:
-                self.sink.on_write(slot.addr, decl.name, decl.line)
-            self._charge(decl.line, costs.STORE)
+                self._events.append((EV_WRITE, slot.addr, decl.name, decl.line, False))
+            self._charge(decl.line, _STORE)
 
     def _exec_assign(self, stmt: Assign, frame: _Frame) -> None:
         target = stmt.target
@@ -428,23 +476,23 @@ class Interpreter:
             if not isinstance(slot, ArrayValue):
                 raise InterpreterError(f"{target.name!r} is not an array", line=line)
             indices = [int(self._eval(ix, frame)) for ix in target.indices]
-            self._charge(line, costs.INDEX * len(indices))
+            self._charge(line, _INDEX * len(indices))
             flat = slot.flat_index(indices, line=line)
-            addr = slot.addr_of(flat)
+            addr = slot.base + flat
             if stmt.op == "=":
                 value = self._eval(stmt.value, frame)
             else:
-                current = slot.get(flat)
+                current = slot.data[flat]
                 if self.sink is not None:
-                    self.sink.on_read(addr, target.name, line, True)
-                self._charge(line, costs.LOAD)
+                    self._events.append((EV_READ, addr, target.name, line, True))
+                self._charge(line, _LOAD)
                 rhs = self._eval(stmt.value, frame)
                 value = self._apply_binop(stmt.op[0], current, rhs, line)
-                self._charge(line, costs.ARITH)
+                self._charge(line, _ARITH)
             slot.set(flat, value)
             if self.sink is not None:
-                self.sink.on_write(addr, target.name, line, True)
-            self._charge(line, costs.STORE)
+                self._events.append((EV_WRITE, addr, target.name, line, True))
+            self._charge(line, _STORE)
         else:
             if not isinstance(slot, ScalarCell):
                 raise InterpreterError(
@@ -454,23 +502,23 @@ class Interpreter:
                 value = self._eval(stmt.value, frame)
             else:
                 if self.sink is not None:
-                    self.sink.on_read(slot.addr, target.name, line)
-                self._charge(line, costs.LOAD)
+                    self._events.append((EV_READ, slot.addr, target.name, line, False))
+                self._charge(line, _LOAD)
                 rhs = self._eval(stmt.value, frame)
                 value = self._apply_binop(stmt.op[0], slot.value, rhs, line)
-                self._charge(line, costs.ARITH)
+                self._charge(line, _ARITH)
             if isinstance(slot.value, int) and not isinstance(value, int):
                 value = int(value)
             slot.value = value
             if self.sink is not None:
-                self.sink.on_write(slot.addr, target.name, line)
-            self._charge(line, costs.STORE)
+                self._events.append((EV_WRITE, slot.addr, target.name, line, False))
+            self._charge(line, _STORE)
 
     def _exec_for(self, loop: For, frame: _Frame) -> None:
         self._flush()
         activation = self._new_activation()
         if self.sink is not None:
-            self.sink.enter_loop(loop.region_id, activation, loop.line)
+            self._events.append((EV_ENTER_LOOP, loop.region_id, activation, loop.line))
         trips = 0
         try:
             if loop.init is not None:
@@ -480,9 +528,9 @@ class Interpreter:
                     # flush the per-line cost buffer so per-iteration cost
                     # accounting sees this iteration's charges
                     self._flush()
-                    self.sink.loop_iteration(loop.region_id, trips)
+                    self._events.append((EV_ITER, loop.region_id, trips))
                 if loop.cond is not None:
-                    self._charge(loop.line, costs.BRANCH)
+                    self._charge(loop.line, _BRANCH)
                     if not self._eval(loop.cond, frame):
                         break
                 try:
@@ -498,20 +546,22 @@ class Interpreter:
         finally:
             self._flush()
             if self.sink is not None:
-                self.sink.exit_loop(loop.region_id, activation, trips)
+                self._events.append(
+                    (EV_EXIT_LOOP, loop.region_id, activation, trips)
+                )
 
     def _exec_while(self, loop: While, frame: _Frame) -> None:
         self._flush()
         activation = self._new_activation()
         if self.sink is not None:
-            self.sink.enter_loop(loop.region_id, activation, loop.line)
+            self._events.append((EV_ENTER_LOOP, loop.region_id, activation, loop.line))
         trips = 0
         try:
             while True:
                 if self.sink is not None:
                     self._flush()
-                    self.sink.loop_iteration(loop.region_id, trips)
-                self._charge(loop.line, costs.BRANCH)
+                    self._events.append((EV_ITER, loop.region_id, trips))
+                self._charge(loop.line, _BRANCH)
                 if not self._eval(loop.cond, frame):
                     break
                 try:
@@ -525,7 +575,9 @@ class Interpreter:
         finally:
             self._flush()
             if self.sink is not None:
-                self.sink.exit_loop(loop.region_id, activation, trips)
+                self._events.append(
+                    (EV_EXIT_LOOP, loop.region_id, activation, trips)
+                )
 
     # ------------------------------------------------------------------
     # expressions
@@ -540,53 +592,64 @@ class Interpreter:
         return slot
 
     def _eval(self, expr: Expr, frame: _Frame) -> Any:
+        # Dispatch ordered by dynamic frequency (BinOp/VarRef/IntLit dominate
+        # real workloads); variable lookup is inlined on the scalar fast path.
         kind = type(expr)
-        if kind is IntLit:
-            return expr.value
-        if kind is FloatLit:
-            return expr.value
-        if kind is VarRef:
-            slot = self._lookup(expr.name, frame, expr.line)
-            if isinstance(slot, ArrayValue):
-                raise InterpreterError(
-                    f"array {expr.name!r} used as a scalar", line=expr.line
-                )
-            if self.sink is not None:
-                self.sink.on_read(slot.addr, expr.name, expr.line)
-            self._charge(expr.line, costs.LOAD)
-            return slot.value
-        if kind is ArrayRef:
-            slot = self._lookup(expr.name, frame, expr.line)
-            if not isinstance(slot, ArrayValue):
-                raise InterpreterError(f"{expr.name!r} is not an array", line=expr.line)
-            indices = [int(self._eval(ix, frame)) for ix in expr.indices]
-            self._charge(expr.line, costs.INDEX * len(indices))
-            flat = slot.flat_index(indices, line=expr.line)
-            if self.sink is not None:
-                self.sink.on_read(slot.addr_of(flat), expr.name, expr.line, True)
-            self._charge(expr.line, costs.LOAD)
-            return slot.get(flat)
         if kind is BinOp:
-            if expr.op == "&&":
+            op = expr.op
+            if op == "&&":
                 left = self._eval(expr.left, frame)
-                self._charge(expr.line, costs.ARITH)
+                self._charge(expr.line, _ARITH)
                 if not left:
                     return 0
                 return 1 if self._eval(expr.right, frame) else 0
-            if expr.op == "||":
+            if op == "||":
                 left = self._eval(expr.left, frame)
-                self._charge(expr.line, costs.ARITH)
+                self._charge(expr.line, _ARITH)
                 if left:
                     return 1
                 return 1 if self._eval(expr.right, frame) else 0
             left = self._eval(expr.left, frame)
             right = self._eval(expr.right, frame)
-            cost = costs.COMPARE if expr.op in ("==", "!=", "<", "<=", ">", ">=") else costs.ARITH
-            self._charge(expr.line, cost)
-            return self._apply_binop(expr.op, left, right, expr.line)
+            self._charge(expr.line, _COMPARE if op in _CMP_OPS else _ARITH)
+            return self._apply_binop(op, left, right, expr.line)
+        if kind is VarRef:
+            name = expr.name
+            slot = frame.vars.get(name)
+            if slot is None:
+                slot = self.globals.get(name)
+                if slot is None:
+                    raise InterpreterError(
+                        f"use of undeclared variable {name!r}", line=expr.line
+                    )
+            if type(slot) is not ScalarCell:
+                raise InterpreterError(
+                    f"array {name!r} used as a scalar", line=expr.line
+                )
+            if self.sink is not None:
+                self._events.append((EV_READ, slot.addr, name, expr.line, False))
+            self._charge(expr.line, _LOAD)
+            return slot.value
+        if kind is IntLit:
+            return expr.value
+        if kind is ArrayRef:
+            slot = self._lookup(expr.name, frame, expr.line)
+            if not isinstance(slot, ArrayValue):
+                raise InterpreterError(f"{expr.name!r} is not an array", line=expr.line)
+            indices = [int(self._eval(ix, frame)) for ix in expr.indices]
+            self._charge(expr.line, _INDEX * len(indices))
+            flat = slot.flat_index(indices, line=expr.line)
+            if self.sink is not None:
+                self._events.append(
+                    (EV_READ, slot.base + flat, expr.name, expr.line, True)
+                )
+            self._charge(expr.line, _LOAD)
+            return slot.data[flat]
+        if kind is FloatLit:
+            return expr.value
         if kind is UnaryOp:
             value = self._eval(expr.operand, frame)
-            self._charge(expr.line, costs.UNARY)
+            self._charge(expr.line, _UNARY)
             if expr.op == "-":
                 return -value
             if expr.op == "!":

@@ -1,0 +1,117 @@
+"""Process-parallel registry analysis.
+
+Table III re-runs the whole interpret → profile → detect → simulate stack
+for every registry program; the runs are completely independent, so this
+module fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Guarantees:
+
+* **Deterministic ordering** — results come back in the order the names
+  were given (registry order by default), independent of worker completion
+  order (``Executor.map`` semantics).
+* **Parallel ≡ serial** — each worker parses its program from source and
+  calls the analysis engine directly, bypassing every in-process cache a
+  forked child might inherit; the analysis itself is deterministic, and
+  :class:`BenchmarkOutcome` carries the canonical profile digest so equality
+  is checkable down to the serialized profile bytes.
+* **Compact results** — workers return plain-data summaries (labels,
+  pipeline coefficients, simulated speedups, digests), not multi-megabyte
+  :class:`AnalysisResult` objects, keeping pickling off the critical path.
+
+An optional shared profile cache directory lets workers reuse on-disk
+profiles (writes are atomic, so concurrent workers are safe).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class BenchmarkOutcome:
+    """Picklable summary of one benchmark's end-to-end analysis."""
+
+    name: str
+    suite: str
+    loc: int
+    label: str
+    primary_share: float
+    best_speedup: float
+    best_threads: int
+    #: one (loop_x, loop_y, a, b, efficiency) tuple per detected pipeline
+    pipelines: tuple[tuple[int, int, float, float, float], ...]
+    #: sha256 of the canonical profile JSON — byte-level profile identity
+    profile_digest: str
+
+
+def analyze_one(name: str, cache_dir: str | None = None) -> BenchmarkOutcome:
+    """Analyze one registry benchmark from scratch; used as the pool worker.
+
+    Deliberately avoids ``registry.analyze_benchmark`` (its ``lru_cache``
+    would be inherited by forked workers and could mask real recomputation)
+    and re-parses the program from its source text.
+    """
+    from repro.bench_programs.registry import get_benchmark
+    from repro.lang.parser import parse_program
+    from repro.lang.validate import validate_program
+    from repro.patterns.engine import analyze, primary_pattern_share, summarize_patterns
+    from repro.profiling.serialize import profile_digest
+    from repro.sim import plan_and_simulate
+
+    spec = get_benchmark(name)
+    program = parse_program(spec.source)
+    validate_program(program)
+    cache = None
+    if cache_dir is not None:
+        from repro.profiling.cache import ProfileCache
+
+        cache = ProfileCache(root=cache_dir)
+    result = analyze(
+        program,
+        spec.entry,
+        spec.arg_sets(),
+        hotspot_threshold=spec.hotspot_threshold,
+        min_pairs=spec.min_pairs,
+        cache=cache,
+    )
+    outcome = plan_and_simulate(result)
+    return BenchmarkOutcome(
+        name=spec.name,
+        suite=spec.suite,
+        loc=spec.loc,
+        label=summarize_patterns(result),
+        primary_share=primary_pattern_share(result),
+        best_speedup=outcome.best_speedup,
+        best_threads=outcome.best_threads,
+        pipelines=tuple(
+            (p.loop_x, p.loop_y, p.a, p.b, p.efficiency) for p in result.pipelines
+        ),
+        profile_digest=profile_digest(result.profile),
+    )
+
+
+def analyze_registry(
+    names: Sequence[str] | None = None,
+    max_workers: int | None = None,
+    cache_dir: str | None = None,
+    parallel: bool = True,
+) -> list[BenchmarkOutcome]:
+    """Analyze registry benchmarks, optionally across worker processes.
+
+    Results are returned in the order of *names* (registry order when None)
+    whichever path runs.  ``parallel=False`` runs the identical per-program
+    code in this process — the reference for equality testing.
+    """
+    if names is None:
+        from repro.bench_programs.registry import all_benchmarks
+
+        names = [spec.name for spec in all_benchmarks()]
+    if not parallel:
+        return [analyze_one(name, cache_dir) for name in names]
+    if max_workers is None:
+        max_workers = min(len(names), os.cpu_count() or 1) or 1
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(analyze_one, names, [cache_dir] * len(names)))

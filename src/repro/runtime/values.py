@@ -33,7 +33,7 @@ class AddressSpace:
         return base
 
 
-@dataclass
+@dataclass(slots=True)
 class ScalarCell:
     """A scalar variable's storage: one address, one value."""
 

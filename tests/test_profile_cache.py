@@ -1,0 +1,163 @@
+"""Content-addressed profile cache: keying, invalidation, recovery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import compile_source
+from repro.profiling import (
+    canonical_profile_json,
+    profile_digest,
+    profile_runs,
+)
+from repro.profiling.cache import (
+    ProfileCache,
+    cached_profile_runs,
+    profile_cache_key,
+)
+
+SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+
+SRC_VARIANT = SRC.replace("s += A[i];", "s += A[i] * 2.0;")
+
+
+@pytest.fixture
+def program():
+    return compile_source(SRC)
+
+
+@pytest.fixture
+def args():
+    return [[np.ones(16), 16]]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ProfileCache(root=tmp_path / "profiles")
+
+
+class TestCacheKey:
+    def test_identical_inputs_identical_key(self, args):
+        k1 = profile_cache_key(SRC, "total", args)
+        k2 = profile_cache_key(SRC, "total", [[np.ones(16), 16]])
+        assert k1 == k2
+
+    def test_changed_source_changes_key(self, args):
+        assert profile_cache_key(SRC, "total", args) != profile_cache_key(
+            SRC_VARIANT, "total", args
+        )
+
+    def test_changed_input_changes_key(self):
+        base = profile_cache_key(SRC, "total", [[np.ones(16), 16]])
+        assert base != profile_cache_key(SRC, "total", [[np.zeros(16), 16]])
+        assert base != profile_cache_key(SRC, "total", [[np.ones(17), 17]])
+        assert base != profile_cache_key(SRC, "total", [[np.ones(16), 15]])
+
+    def test_changed_config_changes_key(self, args):
+        base = profile_cache_key(SRC, "total", args)
+        assert base != profile_cache_key(SRC, "total", args, record_calltree=False)
+        assert base != profile_cache_key(SRC, "total", args, max_cost=1_000)
+
+    def test_int_float_args_distinct(self):
+        assert profile_cache_key(SRC, "total", [[1]]) != profile_cache_key(
+            SRC, "total", [[1.0]]
+        )
+
+
+class TestCachedRuns:
+    def test_miss_then_hit(self, program, args, cache):
+        p1, hit1 = cached_profile_runs(program, "total", args, cache=cache)
+        p2, hit2 = cached_profile_runs(program, "total", args, cache=cache)
+        assert (hit1, hit2) == (False, True)
+        assert cache.stats.stores == 1 and cache.stats.hits == 1
+        assert profile_digest(p1) == profile_digest(p2)
+
+    def test_hit_performs_zero_reinterpretation(self, program, args, cache, monkeypatch):
+        cached_profile_runs(program, "total", args, cache=cache)
+
+        def _fail(*_a, **_k):  # pragma: no cover - would mean a cache miss
+            raise AssertionError("interpreter ran despite a warm cache")
+
+        monkeypatch.setattr("repro.profiling.cache.profile_runs", _fail)
+        profile, hit = cached_profile_runs(program, "total", args, cache=cache)
+        assert hit and profile.total_cost > 0
+
+    def test_changed_input_misses(self, program, cache):
+        _, hit1 = cached_profile_runs(program, "total", [[np.ones(16), 16]], cache=cache)
+        _, hit2 = cached_profile_runs(program, "total", [[np.ones(8), 8]], cache=cache)
+        assert not hit1 and not hit2
+        assert cache.stats.stores == 2
+
+    def test_changed_config_misses(self, program, args, cache):
+        cached_profile_runs(program, "total", args, cache=cache)
+        _, hit = cached_profile_runs(
+            program, "total", args, record_calltree=False, cache=cache
+        )
+        assert not hit
+
+    def test_cached_profile_drives_same_detection(self, program, args, cache):
+        from repro.patterns.engine import analyze_profile, summarize_patterns
+
+        fresh = profile_runs(program, "total", args)
+        cached_profile_runs(program, "total", args, cache=cache)
+        warm, hit = cached_profile_runs(program, "total", args, cache=cache)
+        assert hit
+        assert summarize_patterns(analyze_profile(program, warm)) == summarize_patterns(
+            analyze_profile(program, fresh)
+        )
+
+
+class TestCorruption:
+    def test_corrupted_entry_is_evicted_and_recomputed(self, program, args, cache):
+        _, _ = cached_profile_runs(program, "total", args, cache=cache)
+        key = profile_cache_key(program.source, "total", args)
+        path = cache.path_for(key)
+        path.write_text("{ truncated garbage")
+
+        assert cache.load(key) is None
+        assert not path.exists()
+        assert cache.stats.evictions == 1
+
+        profile, hit = cached_profile_runs(program, "total", args, cache=cache)
+        assert not hit and profile.total_cost > 0
+        assert path.exists()
+
+    def test_valid_json_wrong_schema_is_evicted(self, program, args, cache):
+        cached_profile_runs(program, "total", args, cache=cache)
+        key = profile_cache_key(program.source, "total", args)
+        cache.path_for(key).write_text(json.dumps({"version": 999}))
+        assert cache.load(key) is None
+        assert cache.stats.evictions == 1
+
+    def test_missing_entry_is_plain_miss(self, cache):
+        assert cache.load("0" * 64) is None
+        assert cache.stats.misses == 1 and cache.stats.evictions == 0
+
+
+class TestDeterminism:
+    def test_repeated_runs_byte_identical(self, program, args):
+        a = canonical_profile_json(profile_runs(program, "total", args))
+        b = canonical_profile_json(profile_runs(program, "total", args))
+        assert a == b
+
+    def test_round_trip_byte_identical(self, program, args):
+        from repro.profiling import profile_from_dict
+
+        text = canonical_profile_json(profile_runs(program, "total", args))
+        rebuilt = profile_from_dict(json.loads(text))
+        assert canonical_profile_json(rebuilt) == text
+
+    def test_digest_matches_stored_bytes(self, program, args, cache):
+        profile, _ = cached_profile_runs(program, "total", args, cache=cache)
+        key = profile_cache_key(program.source, "total", args)
+        stored = cache.path_for(key).read_text()
+        assert stored == canonical_profile_json(profile)
