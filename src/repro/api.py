@@ -13,8 +13,23 @@ from repro.lang.ast_nodes import Program
 from repro.lang.parser import parse_program
 from repro.lang.validate import validate_program
 from repro.patterns.engine import AnalysisResult, analyze
+from repro.patterns.framework import (
+    AnalysisContext,
+    AnalysisTrace,
+    Detector,
+    DetectorRegistry,
+    Evidence,
+    default_registry,
+)
+from repro.patterns.schema import (
+    SCHEMA_VERSION,
+    analysis_from_dict,
+    analysis_from_json,
+    analysis_to_dict,
+    analysis_to_json,
+)
 from repro.profiling.hotspots import DEFAULT_THRESHOLD
-from repro.reporting.report import analysis_report
+from repro.reporting.report import analysis_report, trace_report
 from repro.runtime.parallel import BenchmarkOutcome, analyze_registry
 
 
@@ -49,6 +64,18 @@ __all__ = [
     "compile_source",
     "analyze_source",
     "analysis_report",
+    "trace_report",
     "analyze_registry",
     "BenchmarkOutcome",
+    "AnalysisContext",
+    "AnalysisTrace",
+    "Detector",
+    "DetectorRegistry",
+    "Evidence",
+    "default_registry",
+    "SCHEMA_VERSION",
+    "analysis_to_dict",
+    "analysis_from_dict",
+    "analysis_to_json",
+    "analysis_from_json",
 ]

@@ -11,17 +11,37 @@ Subcommands::
 Array arguments are declared positionally in the order the entry function
 expects them: ``--scalar``, ``--zeros`` and ``--rand`` options are consumed
 left to right.
+
+``analyze``, ``detect``, ``bench``, and ``table3`` accept ``--json`` to
+emit the versioned analysis schema (see ``repro.patterns.schema``) instead
+of the text report — pretty-printed by default, one canonical line with
+``--compact``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from repro.api import analyze_source
 from repro.reporting.report import analysis_report
+
+
+def _print_analysis(args: argparse.Namespace, result) -> None:
+    """Emit one analysis result per the output flags (--json/--compact)."""
+    if getattr(args, "json", False):
+        print(result.to_json(pretty=not getattr(args, "compact", False)))
+        return
+    print(
+        analysis_report(
+            result,
+            include_source=not args.no_source,
+            include_trace=not getattr(args, "no_trace", False),
+        )
+    )
 
 
 def _parse_array(spec: str, rng: np.random.Generator, kind: str) -> np.ndarray:
@@ -52,7 +72,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         arg_sets=[call_args],
         hotspot_threshold=args.threshold,
     )
-    print(analysis_report(result, include_source=not args.no_source))
+    _print_analysis(args, result)
     return 0
 
 
@@ -136,9 +156,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         profile, hit = cached_profile_runs(
             program, args.entry, [_collect_args(args)], cache=cache
         )
-        print(f"profile source: {'cache hit' if hit else 'instrumented run'}")
+        # Keep stdout pure JSON in --json mode; the provenance note is advisory.
+        print(
+            f"profile source: {'cache hit' if hit else 'instrumented run'}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     result = analyze_profile(program, profile, hotspot_threshold=args.threshold)
-    print(analysis_report(result, include_source=not args.no_source))
+    _print_analysis(args, result)
     return 0
 
 
@@ -222,8 +246,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     spec = get_benchmark(args.name)
     result = analyze_benchmark(args.name)
-    print(analysis_report(result, include_source=not args.no_source))
     outcome = plan_and_simulate(result)
+    if args.json:
+        from repro.patterns.schema import analysis_to_dict
+        from repro.profiling.serialize import canonical_json
+
+        doc = analysis_to_dict(result)
+        # Extension block: loaders ignore unknown top-level keys, so the
+        # document stays a valid analysis schema instance.
+        doc["simulation"] = {
+            "best_speedup": outcome.best_speedup,
+            "best_threads": outcome.best_threads,
+            "paper_speedup": spec.paper.speedup,
+            "paper_threads": spec.paper.threads,
+        }
+        if args.compact:
+            print(canonical_json(doc))
+        else:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(analysis_report(result, include_source=not args.no_source))
     print(
         f"Simulated best speedup: {outcome.best_speedup:.2f}x at "
         f"{outcome.best_threads} threads "
@@ -249,6 +291,15 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         parallel=args.parallel,
     )
+    if args.json:
+        from repro.profiling.serialize import canonical_json
+
+        docs = [o.to_dict() for o in outcomes]
+        if args.compact:
+            print(canonical_json(docs))
+        else:
+            print(json.dumps(docs, indent=2, sort_keys=True))
+        return 0
     rows = [
         [
             o.name,
@@ -284,6 +335,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_json_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("--json", action="store_true",
+                            help="emit the versioned analysis schema as JSON")
+    sub_parser.add_argument("--compact", action="store_true",
+                            help="with --json: one canonical line instead of "
+                                 "pretty-printed output")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-patterns")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -297,6 +356,9 @@ def main(argv: list[str] | None = None) -> int:
     p_analyze.add_argument("--seed", type=int, default=0)
     p_analyze.add_argument("--threshold", type=float, default=0.10)
     p_analyze.add_argument("--no-source", action="store_true")
+    p_analyze.add_argument("--no-trace", action="store_true",
+                           help="omit the detection trace from the text report")
+    _add_json_flags(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_profile = sub.add_parser(
@@ -333,6 +395,9 @@ def main(argv: list[str] | None = None) -> int:
     p_detect.add_argument("--no-cache", action="store_true")
     p_detect.add_argument("--threshold", type=float, default=0.10)
     p_detect.add_argument("--no-source", action="store_true")
+    p_detect.add_argument("--no-trace", action="store_true",
+                          help="omit the detection trace from the text report")
+    _add_json_flags(p_detect)
     p_detect.set_defaults(func=_cmd_detect)
 
     p_bench = sub.add_parser("bench", help="analyze a registered benchmark")
@@ -343,6 +408,7 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--cache-dir", default=None,
                          help="cache directory for --smoke (default: fresh temp dir)")
     p_bench.add_argument("--no-source", action="store_true")
+    _add_json_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("list", help="list registered benchmarks")
@@ -355,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
                       help="worker process count (default: cpu count)")
     p_t3.add_argument("--cache-dir", default=None,
                       help="shared profile cache directory for the workers")
+    _add_json_flags(p_t3)
     p_t3.set_defaults(func=_cmd_table3)
 
     p_exp = sub.add_parser(

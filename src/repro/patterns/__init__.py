@@ -37,6 +37,23 @@ from repro.patterns.fusion import detect_fusion
 from repro.patterns.tasks import detect_task_parallelism
 from repro.patterns.geometric import detect_geometric_decomposition
 from repro.patterns.engine import AnalysisResult, analyze, summarize_patterns
+from repro.patterns.framework import (
+    AnalysisContext,
+    AnalysisTrace,
+    Detector,
+    DetectorRegistry,
+    Evidence,
+    StageTrace,
+    default_registry,
+    run_detectors,
+)
+from repro.patterns.schema import (
+    SCHEMA_VERSION,
+    analysis_from_dict,
+    analysis_from_json,
+    analysis_to_dict,
+    analysis_to_json,
+)
 from repro.patterns.ranking import PatternOption, rank_patterns
 from repro.patterns.intra_pipeline import IntraLoopPipeline, detect_intra_loop_pipeline
 
@@ -63,6 +80,19 @@ __all__ = [
     "AnalysisResult",
     "analyze",
     "summarize_patterns",
+    "AnalysisContext",
+    "AnalysisTrace",
+    "Detector",
+    "DetectorRegistry",
+    "Evidence",
+    "StageTrace",
+    "default_registry",
+    "run_detectors",
+    "SCHEMA_VERSION",
+    "analysis_to_dict",
+    "analysis_from_dict",
+    "analysis_to_json",
+    "analysis_from_json",
     "PatternOption",
     "rank_patterns",
     "IntraLoopPipeline",

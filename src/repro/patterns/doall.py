@@ -21,6 +21,13 @@ Everything else is **sequential**.
 from __future__ import annotations
 
 from repro.lang.ast_nodes import Program
+from repro.patterns.framework import (
+    AnalysisContext,
+    AnalysisResult,
+    Detector,
+    Evidence,
+    StageTrace,
+)
 from repro.patterns.reduction import detect_reductions
 from repro.patterns.result import LoopClass, LoopClassification
 from repro.profiling.model import RAW, Profile
@@ -125,3 +132,37 @@ def classify_loop(
         privatizable=privatizable,
         reductions=reductions,
     )
+
+
+class LoopClassesDetector(Detector):
+    """Stage 1: classify every executed loop (cheap, quoted everywhere)."""
+
+    name = "loop-classes"
+    stage = "loop-classes"
+
+    def run(
+        self, ctx: AnalysisContext, result: AnalysisResult, trace: StageTrace
+    ) -> list[Evidence]:
+        evidence: list[Evidence] = []
+        hot = ctx.hotspot_regions
+        for loop_region in ctx.profile.loop_trips:
+            lc = ctx.loop_class(loop_region)
+            result.loop_classes[loop_region] = lc
+            trace.count("loops")
+            trace.count(lc.classification.value)
+            if loop_region in hot:
+                evidence.append(
+                    Evidence(
+                        detector=self.name,
+                        kind="loop",
+                        regions=(loop_region,),
+                        status="accepted" if lc.parallelizable else "rejected",
+                        reason=f"classified-{lc.classification.value}",
+                        detail=(
+                            f"blocking={sorted(lc.blocking_vars)}"
+                            if lc.blocking_vars
+                            else ""
+                        ),
+                    )
+                )
+        return evidence

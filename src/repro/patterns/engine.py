@@ -1,128 +1,63 @@
-"""The detection engine: run every detector over a program's hotspots.
+"""The detection engine: run the detector pipeline over a program's hotspots.
 
 ``analyze`` profiles the program (optionally with several inputs, merged)
 and applies the Section III detectors to the hotspot regions, mirroring the
 paper's pipeline: hotspots from the PET → CU graphs → pattern detectors.
+The detectors themselves are pluggable stages resolved from a
+:class:`repro.patterns.framework.DetectorRegistry`; pass a custom registry
+to ``analyze``/``analyze_profile`` to add, replace, or drop stages.
 
 ``summarize_patterns`` condenses an :class:`AnalysisResult` into the
 "Detected Pattern" label of Table III, using the same precedence the paper's
 evaluation section exhibits (fusion ≻ multi-loop pipeline ≻ task parallelism
 ≻ geometric decomposition ≻ reduction ≻ do-all).
+
+The thresholds (:data:`MIN_TASK_SPEEDUP`, :data:`MIN_PIPELINE_EFFICIENCY`,
+:data:`MIN_TASK_GRAIN`) and :class:`AnalysisResult` itself live in
+:mod:`repro.patterns.framework` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from repro.profiling.cache import ProfileCache
 
 from repro.lang.ast_nodes import Program
-from repro.patterns.doall import classify_loop
-from repro.patterns.fusion import detect_fusion
-from repro.patterns.geometric import detect_geometric_decomposition
-from repro.patterns.pipeline import detect_multiloop_pipelines
-from repro.patterns.reduction import detect_reductions
-from repro.patterns.result import (
-    FusionCandidate,
-    GeometricDecomposition,
-    LoopClass,
-    MultiLoopPipeline,
-    ReductionCandidate,
-    TaskParallelism,
+from repro.patterns.framework import (
+    MIN_PIPELINE_EFFICIENCY,
+    MIN_SIGNIFICANT_TASKS,
+    MIN_TASK_GRAIN,
+    MIN_TASK_SPEEDUP,
+    AnalysisContext,
+    AnalysisResult,
+    AnalysisTrace,
+    DetectorRegistry,
+    default_registry,
+    run_detectors,
 )
-from repro.patterns.tasks import detect_task_parallelism
-from repro.profiling.hotspots import DEFAULT_THRESHOLD, Hotspot, hotspot_regions
+from repro.patterns.result import TaskParallelism
+from repro.profiling.hotspots import DEFAULT_THRESHOLD, hotspot_regions
 from repro.profiling.model import Profile
 from repro.profiling.runner import profile_runs
 
-#: A task-parallelism result is "interesting" when the region actually
-#: splits into parallel work: at least this estimated speedup.
-MIN_TASK_SPEEDUP = 1.3
-
-#: A pipeline below this efficiency factor makes loop y wait for most of
-#: loop x — not worth reporting as the program's primary pattern.
-MIN_PIPELINE_EFFICIENCY = 0.5
-
-#: Minimum instructions per region activation (per iteration for loops)
-#: for task parallelism to be worth forking — statement-level concurrency
-#: inside an innermost loop body (bicg's two accumulations) is below any
-#: sensible task grain.  Recursive regions are exempt: their tasks are
-#: whole subtrees.
-MIN_TASK_GRAIN = 300.0
-
-
-@dataclass
-class AnalysisResult:
-    """Everything the detectors found for one program."""
-
-    program: Program
-    profile: Profile
-    hotspots: list[Hotspot]
-    loop_classes: dict[int, LoopClass] = field(default_factory=dict)
-    pipelines: list[MultiLoopPipeline] = field(default_factory=list)
-    fusions: list[FusionCandidate] = field(default_factory=list)
-    tasks: dict[int, TaskParallelism] = field(default_factory=dict)
-    geometric: list[GeometricDecomposition] = field(default_factory=list)
-    reductions: dict[int, list[ReductionCandidate]] = field(default_factory=dict)
-
-    @property
-    def hotspot_regions(self) -> set[int]:
-        return {h.region for h in self.hotspots}
-
-    def clean_pipelines(self) -> list[MultiLoopPipeline]:
-        """Pipelines implementable as a two-stage schedule: loop y depends
-        on no loop other than x, and the efficiency factor clears
-        :data:`MIN_PIPELINE_EFFICIENCY`."""
-        sources: dict[int, set[int]] = {}
-        for p in self.pipelines:
-            sources.setdefault(p.loop_y, set()).add(p.loop_x)
-        return [
-            p
-            for p in self.pipelines
-            if sources.get(p.loop_y) == {p.loop_x}
-            and p.efficiency >= MIN_PIPELINE_EFFICIENCY
-        ]
-
-    def best_task_parallelism(self) -> TaskParallelism | None:
-        """The most promising task-parallel hotspot, if any.
-
-        A region is interesting when at least two CUs can actually run
-        concurrently (an antichain of the CU graph) and the work/span ratio
-        clears :data:`MIN_TASK_SPEEDUP`.
-        """
-        best: TaskParallelism | None = None
-        for tp in self.tasks.values():
-            if tp.estimated_speedup < MIN_TASK_SPEEDUP:
-                continue
-            if len(tp.significant_tasks()) < 2:
-                continue
-            if not self._task_grain_ok(tp):
-                continue
-            if best is None or tp.estimated_speedup > best.estimated_speedup:
-                best = tp
-        return best
-
-    def _task_grain_ok(self, tp: TaskParallelism) -> bool:
-        reg = self.program.regions.get(tp.region)
-        if reg is None:
-            return False
-        if reg.kind == "function":
-            from repro.lang.analysis import is_recursive
-
-            if self.program.has_function(reg.function) and is_recursive(
-                self.program.function(reg.function), self.program
-            ):
-                return True  # tasks are whole recursive subtrees
-            invocations = sum(
-                n.invocations for n in self.profile.pet.walk() if n.region == tp.region
-            ) if self.profile.pet else 1
-            grain = self.profile.region_cost(tp.region) / max(1, invocations)
-        else:
-            trips = self.profile.trip_count(tp.region)
-            grain = self.profile.region_cost(tp.region) / max(1, trips)
-        return grain >= MIN_TASK_GRAIN
+__all__ = [
+    "MIN_TASK_SPEEDUP",
+    "MIN_PIPELINE_EFFICIENCY",
+    "MIN_TASK_GRAIN",
+    "MIN_SIGNIFICANT_TASKS",
+    "AnalysisContext",
+    "AnalysisResult",
+    "AnalysisTrace",
+    "DetectorRegistry",
+    "default_registry",
+    "analyze",
+    "analyze_profile",
+    "summarize_patterns",
+    "primary_pattern_regions",
+    "primary_pattern_share",
+]
 
 
 def analyze(
@@ -134,12 +69,14 @@ def analyze(
     record_calltree: bool = True,
     max_cost: int = 500_000_000,
     cache: "ProfileCache | None" = None,
+    registry: DetectorRegistry | None = None,
 ) -> AnalysisResult:
     """Profile ``entry`` with each argument set and run all detectors.
 
     Pass a :class:`repro.profiling.cache.ProfileCache` to skip the
     instrumented run entirely when an identical (source, inputs, config)
-    profile is already on disk.
+    profile is already on disk, and a :class:`DetectorRegistry` to run a
+    non-default detector pipeline.
     """
     if cache is not None:
         from repro.profiling.cache import cached_profile_runs
@@ -153,7 +90,11 @@ def analyze(
             program, entry, arg_sets, record_calltree=record_calltree, max_cost=max_cost
         )
     return analyze_profile(
-        program, profile, hotspot_threshold=hotspot_threshold, min_pairs=min_pairs
+        program,
+        profile,
+        hotspot_threshold=hotspot_threshold,
+        min_pairs=min_pairs,
+        registry=registry,
     )
 
 
@@ -162,45 +103,18 @@ def analyze_profile(
     profile: Profile,
     hotspot_threshold: float = DEFAULT_THRESHOLD,
     min_pairs: int = 3,
+    registry: DetectorRegistry | None = None,
 ) -> AnalysisResult:
-    """Run all detectors over an existing profile."""
+    """Run the detector pipeline over an existing profile."""
     hotspots = hotspot_regions(profile, program, threshold=hotspot_threshold)
-    result = AnalysisResult(program=program, profile=profile, hotspots=hotspots)
-    hotspot_ids = result.hotspot_regions
-
-    # Loop classification for every executed loop (cheap, reused everywhere).
-    for loop_region in profile.loop_trips:
-        result.loop_classes[loop_region] = classify_loop(program, profile, loop_region)
-
-    # Multi-loop pipelines between hotspot loops, and fusion on top.
-    result.pipelines = detect_multiloop_pipelines(
-        program, profile, hotspots=hotspot_ids, min_pairs=min_pairs
+    ctx = AnalysisContext(
+        program=program,
+        profile=profile,
+        hotspots=hotspots,
+        hotspot_threshold=hotspot_threshold,
+        min_pairs=min_pairs,
     )
-    result.fusions = detect_fusion(result.pipelines)
-
-    # Task parallelism per hotspot region.
-    for hotspot in hotspots:
-        result.tasks[hotspot.region] = detect_task_parallelism(
-            program, profile, hotspot.region
-        )
-
-    # Geometric decomposition for hotspot functions.
-    for hotspot in hotspots:
-        if hotspot.kind != "function":
-            continue
-        gd = detect_geometric_decomposition(program, profile, hotspot.region)
-        if gd is not None:
-            result.geometric.append(gd)
-
-    # Reductions in hotspot loops (Algorithm 3).
-    for hotspot in hotspots:
-        if hotspot.kind != "loop":
-            continue
-        candidates = detect_reductions(program, profile, hotspot.region)
-        if candidates:
-            result.reductions[hotspot.region] = candidates
-
-    return result
+    return run_detectors(ctx, registry)
 
 
 def summarize_patterns(result: AnalysisResult) -> str:

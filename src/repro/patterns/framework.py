@@ -1,0 +1,590 @@
+"""Pluggable detector pipeline: protocol, registry, context, evidence, trace.
+
+The paper's workflow (PET hotspots → CU graphs → Section III detectors) is
+expressed here as a pipeline of :class:`Detector` stages resolved from a
+:class:`DetectorRegistry`.  Each stage reads shared inputs from an
+:class:`AnalysisContext` (which memoizes artifacts several detectors need —
+loop classifications, CU lists, CU graphs, reduction candidates), writes its
+findings into an :class:`AnalysisResult`, and reports *why* candidates were
+accepted or rejected as structured :class:`Evidence` carrying the deciding
+threshold.  Per-stage wall-clock and counters land in an
+:class:`AnalysisTrace` attached to the result.
+
+Adding a detector means subclassing :class:`Detector`, declaring its
+``requires`` (stage dependencies are resolved topologically, registration
+order breaking ties), and registering it — no engine changes:
+
+    registry = default_registry()
+    registry.register(MyDetector())
+    result = run_detectors(ctx, registry)
+
+The thresholds that decide candidate fate live here so evidence can name
+them; :mod:`repro.patterns.engine` re-exports them for compatibility.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.lang.analysis import is_recursive
+from repro.lang.ast_nodes import Program
+from repro.patterns.result import (
+    FusionCandidate,
+    GeometricDecomposition,
+    LoopClass,
+    MultiLoopPipeline,
+    ReductionCandidate,
+    TaskParallelism,
+)
+from repro.profiling.hotspots import Hotspot
+from repro.profiling.model import Profile
+
+#: A task-parallelism result is "interesting" when the region actually
+#: splits into parallel work: at least this estimated speedup.
+MIN_TASK_SPEEDUP = 1.3
+
+#: A pipeline below this efficiency factor makes loop y wait for most of
+#: loop x — not worth reporting as the program's primary pattern.
+MIN_PIPELINE_EFFICIENCY = 0.5
+
+#: Minimum instructions per region activation (per iteration for loops)
+#: for task parallelism to be worth forking — statement-level concurrency
+#: inside an innermost loop body (bicg's two accumulations) is below any
+#: sensible task grain.  Recursive regions are exempt: their tasks are
+#: whole subtrees.
+MIN_TASK_GRAIN = 300.0
+
+#: A task-parallel region needs at least this many *significant* concurrent
+#: tasks (each ≥8 % of the region's CU weight) to be worth a fork.
+MIN_SIGNIFICANT_TASKS = 2
+
+
+# ---------------------------------------------------------------------------
+# evidence and trace
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """Why one candidate was accepted or rejected, with the deciding rule.
+
+    ``threshold`` names the constant that decided a rejection (e.g.
+    ``"MIN_PIPELINE_EFFICIENCY"``); ``threshold_value`` is its value at
+    decision time and ``observed`` the candidate's measured value, so a
+    report can print ``efficiency 0.03 < MIN_PIPELINE_EFFICIENCY 0.5``
+    without re-running anything.
+    """
+
+    detector: str
+    kind: str  # 'loop' | 'pipeline' | 'fusion' | 'task' | 'geometric' | 'reduction'
+    regions: tuple[int, ...]
+    status: str  # 'accepted' | 'rejected'
+    reason: str  # machine-readable, e.g. 'efficiency-below-threshold'
+    threshold: str | None = None
+    threshold_value: float | None = None
+    observed: float | None = None
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == "accepted"
+
+
+@dataclass
+class StageTrace:
+    """Telemetry for one detector stage: wall clock plus counters."""
+
+    detector: str
+    stage: str
+    wall_time_s: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def count(self, key: str, delta: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + delta
+
+
+@dataclass
+class AnalysisTrace:
+    """Per-stage telemetry and the full evidence stream of one analysis."""
+
+    stages: list[StageTrace] = field(default_factory=list)
+    evidence: list[Evidence] = field(default_factory=list)
+
+    def stage(self, detector: str) -> StageTrace | None:
+        for st in self.stages:
+            if st.detector == detector:
+                return st
+        return None
+
+    def for_detector(self, detector: str) -> list[Evidence]:
+        return [ev for ev in self.evidence if ev.detector == detector]
+
+    def accepted(self) -> list[Evidence]:
+        return [ev for ev in self.evidence if ev.accepted]
+
+    def rejected(self) -> list[Evidence]:
+        return [ev for ev in self.evidence if not ev.accepted]
+
+    @property
+    def total_wall_time_s(self) -> float:
+        return sum(st.wall_time_s for st in self.stages)
+
+
+# ---------------------------------------------------------------------------
+# context: shared inputs + memoized artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisContext:
+    """Inputs every detector reads, plus memoized shared artifacts.
+
+    Several detectors quote the same sub-analyses — loop classification is
+    needed by the loop-classes stage, both pipeline stages, and geometric
+    decomposition; CU lists/graphs by task parallelism.  The context
+    computes each artifact once and hands out the cached object.
+    """
+
+    program: Program
+    profile: Profile
+    hotspots: list[Hotspot]
+    hotspot_threshold: float = 0.10
+    min_pairs: int = 3
+    _loop_classes: dict[int, LoopClass] = field(default_factory=dict, repr=False)
+    _reductions: dict[int, list[ReductionCandidate]] = field(
+        default_factory=dict, repr=False
+    )
+    _cus: dict[int, list] = field(default_factory=dict, repr=False)
+    _cu_graphs: dict[int, object] = field(default_factory=dict, repr=False)
+    _hotspot_regions: set[int] | None = field(default=None, repr=False)
+
+    @property
+    def hotspot_regions(self) -> set[int]:
+        if self._hotspot_regions is None:
+            self._hotspot_regions = {h.region for h in self.hotspots}
+        return self._hotspot_regions
+
+    def loop_class(self, region: int) -> LoopClass:
+        """Memoized :func:`repro.patterns.doall.classify_loop`."""
+        lc = self._loop_classes.get(region)
+        if lc is None:
+            from repro.patterns.doall import classify_loop
+
+            lc = classify_loop(self.program, self.profile, region)
+            self._loop_classes[region] = lc
+        return lc
+
+    def reductions(self, loop: int) -> list[ReductionCandidate]:
+        """Memoized :func:`repro.patterns.reduction.detect_reductions`."""
+        cached = self._reductions.get(loop)
+        if cached is None:
+            from repro.patterns.reduction import detect_reductions
+
+            cached = detect_reductions(self.program, self.profile, loop)
+            self._reductions[loop] = cached
+        return cached
+
+    def cus(self, region: int) -> list:
+        """Memoized :func:`repro.cu.detect.detect_cus`."""
+        cached = self._cus.get(region)
+        if cached is None:
+            from repro.cu.detect import detect_cus
+
+            cached = detect_cus(self.program, region)
+            self._cus[region] = cached
+        return cached
+
+    def cu_graph(self, region: int, include_control: bool = True):
+        """Memoized :func:`repro.cu.graph.build_cu_graph` (control edges on)."""
+        if not include_control:  # non-default variants are not cached
+            from repro.cu.graph import build_cu_graph
+
+            return build_cu_graph(
+                self.cus(region), self.profile, region, include_control=False
+            )
+        cached = self._cu_graphs.get(region)
+        if cached is None:
+            from repro.cu.graph import build_cu_graph
+
+            cached = build_cu_graph(
+                self.cus(region), self.profile, region, include_control=True
+            )
+            self._cu_graphs[region] = cached
+        return cached
+
+
+# ---------------------------------------------------------------------------
+# result
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the detectors found for one program."""
+
+    program: Program
+    profile: Profile
+    hotspots: list[Hotspot]
+    loop_classes: dict[int, LoopClass] = field(default_factory=dict)
+    pipelines: list[MultiLoopPipeline] = field(default_factory=list)
+    fusions: list[FusionCandidate] = field(default_factory=list)
+    tasks: dict[int, TaskParallelism] = field(default_factory=dict)
+    geometric: list[GeometricDecomposition] = field(default_factory=list)
+    reductions: dict[int, list[ReductionCandidate]] = field(default_factory=dict)
+    trace: AnalysisTrace | None = None
+    _hotspot_regions_cache: set[int] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def hotspot_regions(self) -> set[int]:
+        if self._hotspot_regions_cache is None:
+            self._hotspot_regions_cache = {h.region for h in self.hotspots}
+        return self._hotspot_regions_cache
+
+    def clean_pipelines(self) -> list[MultiLoopPipeline]:
+        """Pipelines implementable as a two-stage schedule: loop y depends
+        on no loop other than x, and the efficiency factor clears
+        :data:`MIN_PIPELINE_EFFICIENCY`."""
+        return evaluate_clean_pipelines(self)[0]
+
+    def best_task_parallelism(self) -> TaskParallelism | None:
+        """The most promising task-parallel hotspot, if any.
+
+        A region is interesting when at least two CUs can actually run
+        concurrently (an antichain of the CU graph) and the work/span ratio
+        clears :data:`MIN_TASK_SPEEDUP`.
+        """
+        return evaluate_task_candidates(self)[0]
+
+    def to_json(self, pretty: bool = False) -> str:
+        """Serialize to the versioned analysis schema (see
+        :mod:`repro.patterns.schema`)."""
+        from repro.patterns.schema import analysis_to_json
+
+        return analysis_to_json(self, pretty=pretty)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        from repro.patterns.schema import analysis_from_json
+
+        return analysis_from_json(text)
+
+
+# ---------------------------------------------------------------------------
+# candidate evaluation (the thresholds, with evidence)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_clean_pipelines(
+    result: AnalysisResult,
+) -> tuple[list[MultiLoopPipeline], list[Evidence]]:
+    """Apply the clean-pipeline gates, recording the deciding rule per pair.
+
+    A pipeline is *clean* when loop y has no source loop other than x and
+    the efficiency factor clears :data:`MIN_PIPELINE_EFFICIENCY` — the
+    exact predicate Table III's "Multi-loop pipeline" label quotes.
+    """
+    sources: dict[int, set[int]] = {}
+    for p in result.pipelines:
+        sources.setdefault(p.loop_y, set()).add(p.loop_x)
+    clean: list[MultiLoopPipeline] = []
+    evidence: list[Evidence] = []
+    for p in result.pipelines:
+        regions = (p.loop_x, p.loop_y)
+        srcs = sources.get(p.loop_y, set())
+        if srcs != {p.loop_x}:
+            evidence.append(
+                Evidence(
+                    detector="pipelines",
+                    kind="pipeline",
+                    regions=regions,
+                    status="rejected",
+                    reason="multi-source-consumer",
+                    threshold="SINGLE_SOURCE",
+                    threshold_value=1.0,
+                    observed=float(len(srcs)),
+                    detail=f"loop {p.loop_y} consumes {sorted(srcs)}",
+                )
+            )
+            continue
+        if p.efficiency < MIN_PIPELINE_EFFICIENCY:
+            evidence.append(
+                Evidence(
+                    detector="pipelines",
+                    kind="pipeline",
+                    regions=regions,
+                    status="rejected",
+                    reason="efficiency-below-threshold",
+                    threshold="MIN_PIPELINE_EFFICIENCY",
+                    threshold_value=MIN_PIPELINE_EFFICIENCY,
+                    observed=p.efficiency,
+                    detail=f"e={p.efficiency:.3f} (a={p.a:.3f}, b={p.b:.3f})",
+                )
+            )
+            continue
+        clean.append(p)
+        evidence.append(
+            Evidence(
+                detector="pipelines",
+                kind="pipeline",
+                regions=regions,
+                status="accepted",
+                reason="clean-two-stage-schedule",
+                threshold="MIN_PIPELINE_EFFICIENCY",
+                threshold_value=MIN_PIPELINE_EFFICIENCY,
+                observed=p.efficiency,
+            )
+        )
+    return clean, evidence
+
+
+def task_grain(
+    result: AnalysisResult, tp: TaskParallelism
+) -> tuple[bool, float | None, str]:
+    """The grain gate of :data:`MIN_TASK_GRAIN` with its measured value.
+
+    Returns ``(passes, grain, why)`` where *grain* is instructions per
+    activation (``None`` for the recursive exemption and unknown regions)
+    and *why* is ``'recursive'``, ``'grain'``, or ``'unknown-region'``.
+    """
+    reg = result.program.regions.get(tp.region)
+    if reg is None:
+        return False, None, "unknown-region"
+    if reg.kind == "function":
+        if result.program.has_function(reg.function) and is_recursive(
+            result.program.function(reg.function), result.program
+        ):
+            return True, None, "recursive"  # tasks are whole recursive subtrees
+        invocations = sum(
+            n.invocations for n in result.profile.pet.walk() if n.region == tp.region
+        ) if result.profile.pet else 1
+        grain = result.profile.region_cost(tp.region) / max(1, invocations)
+    else:
+        trips = result.profile.trip_count(tp.region)
+        grain = result.profile.region_cost(tp.region) / max(1, trips)
+    return grain >= MIN_TASK_GRAIN, grain, "grain"
+
+
+def evaluate_task_candidates(
+    result: AnalysisResult,
+) -> tuple[TaskParallelism | None, list[Evidence]]:
+    """Apply the task-parallelism gates per hotspot, recording evidence.
+
+    Gates run in the order speedup → significant-task count → grain, and
+    the first failing gate decides the rejection; among survivors the
+    highest estimated speedup wins (first-encountered on ties, preserving
+    hotspot order).
+    """
+    best: TaskParallelism | None = None
+    evidence: list[Evidence] = []
+    for tp in result.tasks.values():
+        regions = (tp.region,)
+        if tp.estimated_speedup < MIN_TASK_SPEEDUP:
+            evidence.append(
+                Evidence(
+                    detector="tasks",
+                    kind="task",
+                    regions=regions,
+                    status="rejected",
+                    reason="speedup-below-threshold",
+                    threshold="MIN_TASK_SPEEDUP",
+                    threshold_value=MIN_TASK_SPEEDUP,
+                    observed=tp.estimated_speedup,
+                )
+            )
+            continue
+        significant = len(tp.significant_tasks())
+        if significant < MIN_SIGNIFICANT_TASKS:
+            evidence.append(
+                Evidence(
+                    detector="tasks",
+                    kind="task",
+                    regions=regions,
+                    status="rejected",
+                    reason="too-few-significant-tasks",
+                    threshold="MIN_SIGNIFICANT_TASKS",
+                    threshold_value=float(MIN_SIGNIFICANT_TASKS),
+                    observed=float(significant),
+                )
+            )
+            continue
+        passes, grain, why = task_grain(result, tp)
+        if not passes:
+            evidence.append(
+                Evidence(
+                    detector="tasks",
+                    kind="task",
+                    regions=regions,
+                    status="rejected",
+                    reason=(
+                        "grain-below-threshold" if why == "grain" else why
+                    ),
+                    threshold="MIN_TASK_GRAIN",
+                    threshold_value=MIN_TASK_GRAIN,
+                    observed=grain,
+                )
+            )
+            continue
+        evidence.append(
+            Evidence(
+                detector="tasks",
+                kind="task",
+                regions=regions,
+                status="accepted",
+                reason="recursive-exempt" if why == "recursive" else "candidate",
+                threshold="MIN_TASK_SPEEDUP",
+                threshold_value=MIN_TASK_SPEEDUP,
+                observed=tp.estimated_speedup,
+            )
+        )
+        if best is None or tp.estimated_speedup > best.estimated_speedup:
+            best = tp
+    return best, evidence
+
+
+# ---------------------------------------------------------------------------
+# detector protocol and registry
+# ---------------------------------------------------------------------------
+
+
+class Detector:
+    """One pipeline stage.  Subclass, set the class attributes, implement
+    :meth:`run`.
+
+    ``requires`` names detectors that must run first; the registry resolves
+    the partial order topologically with registration order breaking ties,
+    so independent stages keep a deterministic sequence.
+    """
+
+    #: unique registry key
+    name: str = ""
+    #: human-readable stage group shown in traces (defaults to ``name``)
+    stage: str = ""
+    #: names of detectors that must have run before this one
+    requires: tuple[str, ...] = ()
+
+    def run(
+        self, ctx: AnalysisContext, result: AnalysisResult, trace: StageTrace
+    ) -> list[Evidence]:
+        """Populate *result* from *ctx*; return this stage's evidence.
+
+        Counters go on *trace* (``trace.count("candidates")``); wall time
+        is measured by the runner.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Detector {self.name} requires={list(self.requires)}>"
+
+
+class DetectorRegistry:
+    """Ordered, dependency-aware collection of detectors."""
+
+    def __init__(self) -> None:
+        self._detectors: dict[str, Detector] = {}
+
+    def register(self, detector: Detector, replace: bool = False) -> Detector:
+        if not detector.name:
+            raise ValueError("detector must set a non-empty name")
+        if detector.name in self._detectors and not replace:
+            raise ValueError(f"detector {detector.name!r} is already registered")
+        self._detectors[detector.name] = detector
+        return detector
+
+    def unregister(self, name: str) -> None:
+        del self._detectors[name]
+
+    def get(self, name: str) -> Detector:
+        return self._detectors[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._detectors
+
+    def __len__(self) -> int:
+        return len(self._detectors)
+
+    def __iter__(self) -> Iterator[Detector]:
+        return iter(self._detectors.values())
+
+    def names(self) -> list[str]:
+        return list(self._detectors)
+
+    def ordered(self) -> list[Detector]:
+        """Detectors in dependency order (Kahn), registration order breaking
+        ties; raises on unknown requirements and dependency cycles."""
+        order = list(self._detectors)
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {name: [] for name in order}
+        for name in order:
+            det = self._detectors[name]
+            missing = [r for r in det.requires if r not in self._detectors]
+            if missing:
+                raise ValueError(
+                    f"detector {name!r} requires unregistered detector(s) {missing}"
+                )
+            indegree[name] = len(set(det.requires))
+            for req in set(det.requires):
+                dependents[req].append(name)
+        ready = [name for name in order if indegree[name] == 0]
+        out: list[Detector] = []
+        while ready:
+            name = ready.pop(0)
+            out.append(self._detectors[name])
+            for dep in dependents[name]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    # keep registration order among newly-ready stages
+                    ready.append(dep)
+            ready.sort(key=order.index)
+        if len(out) != len(order):
+            cyclic = sorted(set(order) - {d.name for d in out})
+            raise ValueError(f"detector dependency cycle involving {cyclic}")
+        return out
+
+
+def default_registry() -> DetectorRegistry:
+    """A fresh registry with the paper's six standard detectors, in the
+    engine's historical order: loop classes, pipelines, fusion, tasks,
+    geometric decomposition, reductions."""
+    from repro.patterns.doall import LoopClassesDetector
+    from repro.patterns.fusion import FusionDetector
+    from repro.patterns.geometric import GeometricDecompositionDetector
+    from repro.patterns.pipeline import MultiLoopPipelineDetector
+    from repro.patterns.reduction import ReductionDetector
+    from repro.patterns.tasks import TaskParallelismDetector
+
+    registry = DetectorRegistry()
+    registry.register(LoopClassesDetector())
+    registry.register(MultiLoopPipelineDetector())
+    registry.register(FusionDetector())
+    registry.register(TaskParallelismDetector())
+    registry.register(GeometricDecompositionDetector())
+    registry.register(ReductionDetector())
+    return registry
+
+
+def run_detectors(
+    ctx: AnalysisContext, registry: DetectorRegistry | None = None
+) -> AnalysisResult:
+    """Run every registered detector over *ctx* and collect the trace."""
+    if registry is None:
+        registry = default_registry()
+    result = AnalysisResult(
+        program=ctx.program, profile=ctx.profile, hotspots=list(ctx.hotspots)
+    )
+    trace = AnalysisTrace()
+    for detector in registry.ordered():
+        stage = StageTrace(
+            detector=detector.name, stage=detector.stage or detector.name
+        )
+        t0 = time.perf_counter()
+        evidence = detector.run(ctx, result, stage) or []
+        stage.wall_time_s = time.perf_counter() - t0
+        trace.stages.append(stage)
+        trace.evidence.extend(evidence)
+    result.trace = trace
+    return result

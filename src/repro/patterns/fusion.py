@@ -14,6 +14,13 @@ dynamic.
 
 from __future__ import annotations
 
+from repro.patterns.framework import (
+    AnalysisContext,
+    AnalysisResult,
+    Detector,
+    Evidence,
+    StageTrace,
+)
 from repro.patterns.result import FusionCandidate, MultiLoopPipeline
 
 _TOL = 1e-9
@@ -43,3 +50,32 @@ def detect_fusion(pipelines: list[MultiLoopPipeline]) -> list[FusionCandidate]:
             continue
         out.append(FusionCandidate(loop_x=p.loop_x, loop_y=p.loop_y, pipeline=p))
     return out
+
+
+class FusionDetector(Detector):
+    """Stage 3: the ``a=1, b=0`` do-all special case on top of the
+    pipeline stage's reports."""
+
+    name = "fusion"
+    stage = "fusion"
+    requires = ("pipelines",)
+
+    def run(
+        self, ctx: AnalysisContext, result: AnalysisResult, trace: StageTrace
+    ) -> list[Evidence]:
+        result.fusions = detect_fusion(result.pipelines)
+        trace.counters["candidates"] = len(result.pipelines)
+        trace.counters["fusable"] = len(result.fusions)
+        return [
+            Evidence(
+                detector=self.name,
+                kind="fusion",
+                regions=(f.loop_x, f.loop_y),
+                status="accepted",
+                reason="perfect-doall-pipeline",
+                threshold="A_EQ_1_B_EQ_0",
+                threshold_value=_TOL,
+                observed=abs(f.pipeline.a - 1.0) + abs(f.pipeline.b),
+            )
+            for f in result.fusions
+        ]

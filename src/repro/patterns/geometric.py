@@ -13,8 +13,17 @@ do-all **or** reduction, DESIGN.md §5.2).
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.lang.ast_nodes import Program
 from repro.patterns.doall import classify_loop
+from repro.patterns.framework import (
+    AnalysisContext,
+    AnalysisResult,
+    Detector,
+    Evidence,
+    StageTrace,
+)
 from repro.patterns.result import GeometricDecomposition, LoopClass
 from repro.profiling.model import PETNode, Profile
 
@@ -30,6 +39,7 @@ def detect_geometric_decomposition(
     profile: Profile,
     func_region: int,
     min_invocations: int = 2,
+    classify: Callable[[int], LoopClass] | None = None,
 ) -> GeometricDecomposition | None:
     """Run Algorithm 2 on a function region; None when not a candidate.
 
@@ -42,6 +52,8 @@ def detect_geometric_decomposition(
     are invoked repeatedly from a driver loop, while single-call kernels
     like ``bicg`` fall through to plain reduction/do-all reporting.
     """
+    if classify is None:
+        classify = lambda loop: classify_loop(program, profile, loop)  # noqa: E731
     reg = program.regions.get(func_region)
     if reg is None or reg.kind != "function":
         return None
@@ -67,9 +79,7 @@ def detect_geometric_decomposition(
             for child in node.children:
                 if child.kind == "loop":
                     if child.region not in analyzed:
-                        analyzed[child.region] = classify_loop(
-                            program, profile, child.region
-                        )
+                        analyzed[child.region] = classify(child.region)
                     if not analyzed[child.region].parallelizable:
                         ok = False
                 elif child.kind == "function":
@@ -94,3 +104,48 @@ def detect_geometric_decomposition(
         analyzed_loops=analyzed,
         called_functions=called,
     )
+
+
+class GeometricDecompositionDetector(Detector):
+    """Hotspot-scoped Algorithm 2 over hotspot *functions*."""
+
+    name = "geometric"
+    stage = "geometric"
+    requires = ("loop-classes",)
+
+    def run(
+        self, ctx: AnalysisContext, result: AnalysisResult, trace: StageTrace
+    ) -> list[Evidence]:
+        evidence: list[Evidence] = []
+        for hotspot in result.hotspots:
+            if hotspot.kind != "function":
+                continue
+            trace.count("hotspot-functions")
+            gd = detect_geometric_decomposition(
+                ctx.program, ctx.profile, hotspot.region, classify=ctx.loop_class
+            )
+            if gd is not None:
+                result.geometric.append(gd)
+                trace.count("candidates")
+                evidence.append(
+                    Evidence(
+                        detector=self.name,
+                        kind="geometric",
+                        regions=(gd.region,),
+                        status="accepted",
+                        reason="all-loops-doall-or-reduction",
+                        detail=f"{gd.function}() loops={sorted(gd.analyzed_loops)}",
+                    )
+                )
+            else:
+                evidence.append(
+                    Evidence(
+                        detector=self.name,
+                        kind="geometric",
+                        regions=(hotspot.region,),
+                        status="rejected",
+                        reason="not-a-candidate",
+                        detail=f"{hotspot.name}",
+                    )
+                )
+        return evidence

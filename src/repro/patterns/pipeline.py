@@ -17,10 +17,20 @@ n-stage chains.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.lang.ast_nodes import Program
 from repro.patterns.doall import classify_loop
+from repro.patterns.framework import (
+    AnalysisContext,
+    AnalysisResult,
+    Detector,
+    Evidence,
+    StageTrace,
+    evaluate_clean_pipelines,
+)
 from repro.patterns.regression import efficiency_factor, fit_iteration_pairs
-from repro.patterns.result import MultiLoopPipeline
+from repro.patterns.result import LoopClass, MultiLoopPipeline
 from repro.profiling.model import Profile
 
 
@@ -29,14 +39,19 @@ def detect_multiloop_pipelines(
     profile: Profile,
     hotspots: set[int] | None = None,
     min_pairs: int = 3,
+    classify: Callable[[int], LoopClass] | None = None,
 ) -> list[MultiLoopPipeline]:
     """Detect multi-loop pipelines between sibling loop pairs.
 
     *hotspots*, when given, restricts attention to pairs where both loops
     are hotspot regions (the paper gathers "all pairs of hotspot loops").
     ``min_pairs`` filters out incidental one-off dependences that cannot
-    support a regression.
+    support a regression.  *classify* substitutes a memoized loop
+    classifier (e.g. ``AnalysisContext.loop_class``) for the default
+    per-call :func:`classify_loop`.
     """
+    if classify is None:
+        classify = lambda loop: classify_loop(program, profile, loop)  # noqa: E731
     results: list[MultiLoopPipeline] = []
     for (loop_x, loop_y), pairs in sorted(profile.pairs.items()):
         if hotspots is not None and (loop_x not in hotspots or loop_y not in hotspots):
@@ -65,8 +80,8 @@ def detect_multiloop_pipelines(
                 n_pairs=fit.n,
                 trips_x=trips_x,
                 trips_y=trips_y,
-                stage_x=classify_loop(program, profile, loop_x),
-                stage_y=classify_loop(program, profile, loop_y),
+                stage_x=classify(loop_x),
+                stage_y=classify(loop_y),
             )
         )
     results.sort(key=lambda r: (r.loop_x, r.loop_y))
@@ -104,3 +119,29 @@ def pipeline_chains(results: list[MultiLoopPipeline]) -> list[list[int]]:
         if len(chain) >= 2:
             chains.append(chain)
     return chains
+
+
+class MultiLoopPipelineDetector(Detector):
+    """Stage 2: pairwise pipeline fits between hotspot loops, with the
+    clean-pipeline gates (single source, :data:`MIN_PIPELINE_EFFICIENCY`)
+    evaluated up front so rejections land in the evidence trace."""
+
+    name = "pipelines"
+    stage = "pipelines"
+    requires = ("loop-classes",)
+
+    def run(
+        self, ctx: AnalysisContext, result: AnalysisResult, trace: StageTrace
+    ) -> list[Evidence]:
+        result.pipelines = detect_multiloop_pipelines(
+            ctx.program,
+            ctx.profile,
+            hotspots=ctx.hotspot_regions,
+            min_pairs=ctx.min_pairs,
+            classify=ctx.loop_class,
+        )
+        clean, evidence = evaluate_clean_pipelines(result)
+        trace.counters["detected"] = len(result.pipelines)
+        trace.counters["clean"] = len(clean)
+        trace.counters["rejected"] = len(result.pipelines) - len(clean)
+        return evidence

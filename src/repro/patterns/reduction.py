@@ -29,6 +29,7 @@ from repro.lang.ast_nodes import (
     VarLV,
     VarRef,
 )
+from repro.patterns.framework import Detector
 from repro.patterns.result import ReductionCandidate
 from repro.profiling.model import RAW, WAW, Profile
 
@@ -166,3 +167,35 @@ def _mentions(expr, var: str) -> bool:
     from repro.lang.ast_nodes import walk_exprs
 
     return any(isinstance(n, VarRef) and n.name == var for n in walk_exprs(expr))
+
+
+class ReductionDetector(Detector):
+    """Hotspot-scoped Algorithm 3: reduction candidates per hotspot loop."""
+
+    name = "reductions"
+    stage = "reductions"
+
+    def run(self, ctx, result, trace):
+        from repro.patterns.framework import Evidence
+
+        evidence = []
+        for hotspot in result.hotspots:
+            if hotspot.kind != "loop":
+                continue
+            trace.count("hotspot-loops")
+            candidates = ctx.reductions(hotspot.region)
+            if candidates:
+                result.reductions[hotspot.region] = candidates
+                trace.count("candidates", len(candidates))
+                evidence.extend(
+                    Evidence(
+                        detector=self.name,
+                        kind="reduction",
+                        regions=(hotspot.region,),
+                        status="accepted",
+                        reason="algorithm-3-candidate",
+                        detail=f"{c.var} @ line {c.line} ({c.operator or '?'})",
+                    )
+                    for c in candidates
+                )
+        return evidence

@@ -1,0 +1,434 @@
+"""Versioned JSON schema for analysis results, evidence, and traces.
+
+An :class:`~repro.patterns.framework.AnalysisResult` round-trips through a
+JSON-compatible dict carrying a ``schema_version``, so detection output can
+be archived, diffed, and consumed by downstream tools (the CLI's ``--json``
+mode, the reporting layer, and the parallel orchestrator's outcome records)
+without re-running anything.
+
+Serialization is **deterministic**, like
+:func:`repro.profiling.serialize.canonical_profile_json`: list orders are
+either the result's own deterministic orders or explicitly sorted, dict
+keys are sorted at dump time, and equal results produce byte-identical
+text — ``analysis_digest`` is therefore a content address.
+
+The program is stored as its MiniC source and re-parsed on load; region and
+statement ids are assigned deterministically by the parser, so every id in
+the document remains valid.  CU statement lists are stored as ``stmt_id``
+references resolved against the re-parsed program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.cu.model import CU
+from repro.graphs.digraph import DiGraph
+from repro.lang.parser import parse_program
+from repro.patterns.framework import (
+    AnalysisResult,
+    AnalysisTrace,
+    Evidence,
+    StageTrace,
+)
+from repro.patterns.result import (
+    FusionCandidate,
+    GeometricDecomposition,
+    LoopClass,
+    LoopClassification,
+    MultiLoopPipeline,
+    ReductionCandidate,
+    TaskParallelism,
+)
+from repro.profiling.hotspots import Hotspot
+from repro.profiling.serialize import canonical_json, profile_from_dict, profile_to_dict
+
+#: Version of the analysis document layout.  Bump on any change to the
+#: structure below; ``analysis_from_dict`` refuses other versions.
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# component encoders/decoders
+# ---------------------------------------------------------------------------
+
+
+def _hotspot_to_dict(h: Hotspot) -> dict[str, Any]:
+    return {
+        "region": h.region,
+        "kind": h.kind,
+        "name": h.name,
+        "line": h.line,
+        "inclusive_cost": h.inclusive_cost,
+        "share": h.share,
+        "pet_node_id": h.pet_node_id,
+    }
+
+
+def _hotspot_from_dict(d: dict[str, Any]) -> Hotspot:
+    return Hotspot(
+        region=d["region"],
+        kind=d["kind"],
+        name=d["name"],
+        line=d["line"],
+        inclusive_cost=d["inclusive_cost"],
+        share=d["share"],
+        pet_node_id=d["pet_node_id"],
+    )
+
+
+def _reduction_to_dict(c: ReductionCandidate) -> dict[str, Any]:
+    return {"loop": c.loop, "var": c.var, "line": c.line, "operator": c.operator}
+
+
+def _reduction_from_dict(d: dict[str, Any]) -> ReductionCandidate:
+    return ReductionCandidate(
+        loop=d["loop"], var=d["var"], line=d["line"], operator=d["operator"]
+    )
+
+
+def _loop_class_to_dict(lc: LoopClass) -> dict[str, Any]:
+    return {
+        "region": lc.region,
+        "classification": lc.classification.value,
+        "blocking_vars": sorted(lc.blocking_vars),
+        "privatizable": sorted(lc.privatizable),
+        "reductions": [_reduction_to_dict(c) for c in lc.reductions],
+    }
+
+
+def _loop_class_from_dict(d: dict[str, Any]) -> LoopClass:
+    return LoopClass(
+        region=d["region"],
+        classification=LoopClassification(d["classification"]),
+        blocking_vars=set(d["blocking_vars"]),
+        privatizable=set(d["privatizable"]),
+        reductions=[_reduction_from_dict(c) for c in d["reductions"]],
+    )
+
+
+def _opt_loop_class_to_dict(lc: LoopClass | None) -> dict[str, Any] | None:
+    return None if lc is None else _loop_class_to_dict(lc)
+
+
+def _opt_loop_class_from_dict(d: dict[str, Any] | None) -> LoopClass | None:
+    return None if d is None else _loop_class_from_dict(d)
+
+
+def _pipeline_to_dict(p: MultiLoopPipeline) -> dict[str, Any]:
+    return {
+        "loop_x": p.loop_x,
+        "loop_y": p.loop_y,
+        "a": p.a,
+        "b": p.b,
+        "efficiency": p.efficiency,
+        "n_pairs": p.n_pairs,
+        "trips_x": p.trips_x,
+        "trips_y": p.trips_y,
+        "stage_x": _opt_loop_class_to_dict(p.stage_x),
+        "stage_y": _opt_loop_class_to_dict(p.stage_y),
+    }
+
+
+def _pipeline_from_dict(d: dict[str, Any]) -> MultiLoopPipeline:
+    return MultiLoopPipeline(
+        loop_x=d["loop_x"],
+        loop_y=d["loop_y"],
+        a=d["a"],
+        b=d["b"],
+        efficiency=d["efficiency"],
+        n_pairs=d["n_pairs"],
+        trips_x=d["trips_x"],
+        trips_y=d["trips_y"],
+        stage_x=_opt_loop_class_from_dict(d["stage_x"]),
+        stage_y=_opt_loop_class_from_dict(d["stage_y"]),
+    )
+
+
+def _cu_to_dict(cu: CU) -> dict[str, Any]:
+    return {
+        "cu_id": cu.cu_id,
+        "region": cu.region,
+        "kind": cu.kind,
+        "stmt_ids": [s.stmt_id for s in cu.stmts],
+        "lines": sorted(cu.lines),
+        "reads": sorted(cu.reads),
+        "writes": sorted(cu.writes),
+        "callees": list(cu.callees),
+        "early_exit": cu.early_exit,
+    }
+
+
+def _cu_from_dict(d: dict[str, Any], program) -> CU:
+    return CU(
+        cu_id=d["cu_id"],
+        region=d["region"],
+        kind=d["kind"],
+        stmts=[program.stmts[sid] for sid in d["stmt_ids"] if sid in program.stmts],
+        lines=set(d["lines"]),
+        reads=set(d["reads"]),
+        writes=set(d["writes"]),
+        callees=list(d["callees"]),
+        early_exit=d["early_exit"],
+    )
+
+
+def _graph_to_dict(graph: DiGraph) -> dict[str, Any]:
+    return {
+        "nodes": list(graph.nodes()),
+        "edges": [
+            [src, dst, {"kind": data.get("kind"), "vars": sorted(data.get("vars", ()))}]
+            for src, dst, data in graph.edges()
+        ],
+    }
+
+
+def _graph_from_dict(d: dict[str, Any]) -> DiGraph:
+    graph = DiGraph()
+    for node in d["nodes"]:
+        graph.add_node(node)
+    for src, dst, data in d["edges"]:
+        graph.add_edge(src, dst, kind=data["kind"], vars=set(data["vars"]))
+    return graph
+
+
+def _task_to_dict(tp: TaskParallelism) -> dict[str, Any]:
+    return {
+        "region": tp.region,
+        "cus": [_cu_to_dict(cu) for cu in tp.cus],
+        "graph": _graph_to_dict(tp.graph),
+        "marks": [[cu, m] for cu, m in sorted(tp.marks.items())],
+        "barrier_inputs": [
+            [cu, list(inputs)] for cu, inputs in sorted(tp.barrier_inputs.items())
+        ],
+        "parallel_barriers": [list(p) for p in tp.parallel_barriers],
+        "total_instructions": tp.total_instructions,
+        "critical_path_instructions": tp.critical_path_instructions,
+        "critical_path": list(tp.critical_path),
+        "concurrent_tasks": list(tp.concurrent_tasks),
+        "weights": [[cu, w] for cu, w in sorted(tp.weights.items())],
+        "single_step_total": tp.single_step_total,
+        "single_step_cp": tp.single_step_cp,
+    }
+
+
+def _task_from_dict(d: dict[str, Any], program) -> TaskParallelism:
+    return TaskParallelism(
+        region=d["region"],
+        cus=[_cu_from_dict(c, program) for c in d["cus"]],
+        graph=_graph_from_dict(d["graph"]),
+        marks={cu: m for cu, m in d["marks"]},
+        barrier_inputs={cu: list(inputs) for cu, inputs in d["barrier_inputs"]},
+        parallel_barriers=[tuple(p) for p in d["parallel_barriers"]],
+        total_instructions=d["total_instructions"],
+        critical_path_instructions=d["critical_path_instructions"],
+        critical_path=list(d["critical_path"]),
+        concurrent_tasks=list(d["concurrent_tasks"]),
+        weights={cu: w for cu, w in d["weights"]},
+        single_step_total=d["single_step_total"],
+        single_step_cp=d["single_step_cp"],
+    )
+
+
+def _geometric_to_dict(gd: GeometricDecomposition) -> dict[str, Any]:
+    return {
+        "region": gd.region,
+        "function": gd.function,
+        "analyzed_loops": [
+            [region, _loop_class_to_dict(lc)] for region, lc in gd.analyzed_loops.items()
+        ],
+        "called_functions": list(gd.called_functions),
+    }
+
+
+def _geometric_from_dict(d: dict[str, Any]) -> GeometricDecomposition:
+    return GeometricDecomposition(
+        region=d["region"],
+        function=d["function"],
+        analyzed_loops={
+            region: _loop_class_from_dict(lc) for region, lc in d["analyzed_loops"]
+        },
+        called_functions=list(d["called_functions"]),
+    )
+
+
+def _evidence_to_dict(ev: Evidence) -> dict[str, Any]:
+    return {
+        "detector": ev.detector,
+        "kind": ev.kind,
+        "regions": list(ev.regions),
+        "status": ev.status,
+        "reason": ev.reason,
+        "threshold": ev.threshold,
+        "threshold_value": ev.threshold_value,
+        "observed": ev.observed,
+        "detail": ev.detail,
+    }
+
+
+def _evidence_from_dict(d: dict[str, Any]) -> Evidence:
+    return Evidence(
+        detector=d["detector"],
+        kind=d["kind"],
+        regions=tuple(d["regions"]),
+        status=d["status"],
+        reason=d["reason"],
+        threshold=d["threshold"],
+        threshold_value=d["threshold_value"],
+        observed=d["observed"],
+        detail=d["detail"],
+    )
+
+
+def _trace_to_dict(trace: AnalysisTrace | None) -> dict[str, Any] | None:
+    if trace is None:
+        return None
+    return {
+        "stages": [
+            {
+                "detector": st.detector,
+                "stage": st.stage,
+                "wall_time_s": st.wall_time_s,
+                "counters": [[k, st.counters[k]] for k in sorted(st.counters)],
+            }
+            for st in trace.stages
+        ],
+        "evidence": [_evidence_to_dict(ev) for ev in trace.evidence],
+    }
+
+
+def _trace_from_dict(d: dict[str, Any] | None) -> AnalysisTrace | None:
+    if d is None:
+        return None
+    return AnalysisTrace(
+        stages=[
+            StageTrace(
+                detector=st["detector"],
+                stage=st["stage"],
+                wall_time_s=st["wall_time_s"],
+                counters={k: v for k, v in st["counters"]},
+            )
+            for st in d["stages"]
+        ],
+        evidence=[_evidence_from_dict(ev) for ev in d["evidence"]],
+    )
+
+
+# ---------------------------------------------------------------------------
+# document encoder/decoder
+# ---------------------------------------------------------------------------
+
+
+def analysis_to_dict(result: AnalysisResult) -> dict[str, Any]:
+    """Convert *result* to the versioned JSON-compatible document."""
+    if not result.program.source:
+        raise ValueError(
+            "analysis schema requires a source-bearing Program "
+            "(programs built without source text cannot be re-parsed on load)"
+        )
+    pipeline_index = {id(p): i for i, p in enumerate(result.pipelines)}
+
+    def fusion_to_dict(f: FusionCandidate) -> dict[str, Any]:
+        idx = pipeline_index.get(id(f.pipeline))
+        doc: dict[str, Any] = {"loop_x": f.loop_x, "loop_y": f.loop_y,
+                               "pipeline_index": idx}
+        if idx is None:  # detached candidate: inline the pipeline record
+            doc["pipeline"] = _pipeline_to_dict(f.pipeline)
+        return doc
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "program": {"source": result.program.source},
+        "profile": profile_to_dict(result.profile),
+        "hotspots": [_hotspot_to_dict(h) for h in result.hotspots],
+        "loop_classes": [
+            [region, _loop_class_to_dict(lc)]
+            for region, lc in result.loop_classes.items()
+        ],
+        "pipelines": [_pipeline_to_dict(p) for p in result.pipelines],
+        "fusions": [fusion_to_dict(f) for f in result.fusions],
+        "tasks": [
+            [region, _task_to_dict(tp)] for region, tp in result.tasks.items()
+        ],
+        "geometric": [_geometric_to_dict(gd) for gd in result.geometric],
+        "reductions": [
+            [loop, [_reduction_to_dict(c) for c in candidates]]
+            for loop, candidates in result.reductions.items()
+        ],
+        "trace": _trace_to_dict(result.trace),
+    }
+
+
+def analysis_from_dict(data: dict[str, Any]) -> AnalysisResult:
+    """Rebuild an :class:`AnalysisResult` from :func:`analysis_to_dict`.
+
+    Unknown top-level keys are ignored, so producers may attach extension
+    sections (the CLI's ``bench --json`` adds a ``simulation`` block).
+    """
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported analysis schema version {version!r}")
+    program = parse_program(data["program"]["source"])
+    profile = profile_from_dict(data["profile"])
+    result = AnalysisResult(
+        program=program,
+        profile=profile,
+        hotspots=[_hotspot_from_dict(h) for h in data["hotspots"]],
+        loop_classes={
+            region: _loop_class_from_dict(lc) for region, lc in data["loop_classes"]
+        },
+        pipelines=[_pipeline_from_dict(p) for p in data["pipelines"]],
+        tasks={region: _task_from_dict(tp, program) for region, tp in data["tasks"]},
+        geometric=[_geometric_from_dict(gd) for gd in data["geometric"]],
+        reductions={
+            loop: [_reduction_from_dict(c) for c in candidates]
+            for loop, candidates in data["reductions"]
+        },
+        trace=_trace_from_dict(data["trace"]),
+    )
+    for f in data["fusions"]:
+        idx = f.get("pipeline_index")
+        pipeline = (
+            result.pipelines[idx]
+            if idx is not None
+            else _pipeline_from_dict(f["pipeline"])
+        )
+        result.fusions.append(
+            FusionCandidate(loop_x=f["loop_x"], loop_y=f["loop_y"], pipeline=pipeline)
+        )
+    return result
+
+
+def analysis_to_json(result: AnalysisResult, pretty: bool = False) -> str:
+    """Serialize *result* to JSON text.
+
+    ``pretty=False`` yields the canonical compact form (sorted keys, fixed
+    separators — byte-deterministic); ``pretty=True`` is the same document
+    indented for humans.
+    """
+    doc = analysis_to_dict(result)
+    if pretty:
+        return json.dumps(doc, sort_keys=True, indent=2)
+    return canonical_json(doc)
+
+
+def analysis_from_json(text: str) -> AnalysisResult:
+    """Rebuild a result from :func:`analysis_to_json` output."""
+    return analysis_from_dict(json.loads(text))
+
+
+def canonical_analysis_json(result: AnalysisResult) -> str:
+    """The canonical byte-deterministic JSON text (compact form)."""
+    return analysis_to_json(result, pretty=False)
+
+
+def analysis_digest(result: AnalysisResult) -> str:
+    """SHA-256 hex digest of the canonical JSON — a content address.
+
+    Note the document includes the trace's wall-clock timings, so digests
+    differ across runs; strip the trace first for a timing-independent
+    identity (``result.trace = None``).
+    """
+    return hashlib.sha256(canonical_analysis_json(result).encode("utf-8")).hexdigest()

@@ -30,6 +30,14 @@ from repro.graphs.algorithms import critical_path, has_path
 from repro.graphs.digraph import DiGraph
 from repro.lang.analysis import is_recursive
 from repro.lang.ast_nodes import Program
+from repro.patterns.framework import (
+    AnalysisContext,
+    AnalysisResult,
+    Detector,
+    Evidence,
+    StageTrace,
+    evaluate_task_candidates,
+)
 from repro.patterns.result import TaskParallelism
 from repro.profiling.model import CallNode, Profile
 
@@ -222,10 +230,19 @@ def detect_task_parallelism(
     profile: Profile,
     region: int,
     include_control: bool = True,
+    cus: list[CU] | None = None,
+    graph: DiGraph | None = None,
 ) -> TaskParallelism:
-    """Run the full Section III-B analysis on one region."""
-    cus = detect_cus(program, region)
-    graph = build_cu_graph(cus, profile, region, include_control=include_control)
+    """Run the full Section III-B analysis on one region.
+
+    *cus* and *graph* accept precomputed artifacts (e.g. the memoized ones
+    from ``AnalysisContext``) so repeated analyses of the same region skip
+    CU detection and graph construction.
+    """
+    if cus is None:
+        cus = detect_cus(program, region)
+    if graph is None:
+        graph = build_cu_graph(cus, profile, region, include_control=include_control)
     marks = classify_cus(graph, cus)
 
     weights = {cu.cu_id: float(cu_weight(cu, profile)) for cu in cus}
@@ -268,3 +285,32 @@ def detect_task_parallelism(
         single_step_total=single[0] if single else 0,
         single_step_cp=single[1] if single else 0,
     )
+
+
+class TaskParallelismDetector(Detector):
+    """Hotspot-scoped Algorithm 1, with the engine's acceptance gates
+    (:data:`MIN_TASK_SPEEDUP`, significant-task count,
+    :data:`MIN_TASK_GRAIN`) evaluated into the evidence trace."""
+
+    name = "tasks"
+    stage = "tasks"
+    requires = ("loop-classes",)
+
+    def run(
+        self, ctx: AnalysisContext, result: AnalysisResult, trace: StageTrace
+    ) -> list[Evidence]:
+        for hotspot in result.hotspots:
+            result.tasks[hotspot.region] = detect_task_parallelism(
+                ctx.program,
+                ctx.profile,
+                hotspot.region,
+                cus=ctx.cus(hotspot.region),
+                graph=ctx.cu_graph(hotspot.region),
+            )
+            trace.count("regions")
+        best, evidence = evaluate_task_candidates(result)
+        trace.counters["accepted"] = sum(1 for ev in evidence if ev.accepted)
+        trace.counters["rejected"] = sum(1 for ev in evidence if not ev.accepted)
+        if best is not None:
+            trace.counters["best_region"] = best.region
+        return evidence

@@ -127,6 +127,14 @@ def load_profile(fh: IO[str]) -> Profile:
     return profile_from_dict(json.load(fh))
 
 
+def canonical_json(data: Any) -> str:
+    """Canonical JSON text for a JSON-compatible value: sorted keys, fixed
+    compact separators.  Shared by the profile serializer and the analysis
+    schema (``repro.patterns.schema``) so every digest in the system hashes
+    the same byte convention."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
 def canonical_profile_json(profile: Profile) -> str:
     """The canonical (byte-deterministic) JSON text for *profile*.
 
@@ -134,9 +142,7 @@ def canonical_profile_json(profile: Profile) -> str:
     :func:`profile_to_dict` and keys are sorted here, with a fixed compact
     separator style.
     """
-    return json.dumps(
-        profile_to_dict(profile), sort_keys=True, separators=(",", ":")
-    )
+    return canonical_json(profile_to_dict(profile))
 
 
 def profile_digest(profile: Profile) -> str:

@@ -2,6 +2,12 @@
 
 from repro.reporting.tables import format_table
 from repro.reporting.dot import cu_graph_dot, pet_dot
-from repro.reporting.report import analysis_report
+from repro.reporting.report import analysis_report, trace_report
 
-__all__ = ["format_table", "cu_graph_dot", "pet_dot", "analysis_report"]
+__all__ = [
+    "format_table",
+    "cu_graph_dot",
+    "pet_dot",
+    "analysis_report",
+    "trace_report",
+]

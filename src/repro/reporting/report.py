@@ -2,12 +2,16 @@
 
 This mirrors the output of the paper's tool: hotspots, the patterns found
 in each, the pipeline coefficients with their Table II reading, the
-fork/worker/barrier classification, and the annotated source.
+fork/worker/barrier classification, the annotated source — and, when the
+result carries an :class:`~repro.patterns.framework.AnalysisTrace`, the
+per-stage telemetry plus every candidate the thresholds rejected, with the
+deciding threshold spelled out.
 """
 
 from __future__ import annotations
 
 from repro.patterns.engine import AnalysisResult, summarize_patterns
+from repro.patterns.framework import Evidence
 from repro.patterns.interpretation import interpret_pipeline
 from repro.patterns.result import SUPPORTING_STRUCTURE
 from repro.reporting.tables import format_table
@@ -19,7 +23,53 @@ def _region_name(result: AnalysisResult, region: int) -> str:
     return reg.name if reg is not None else f"region {region}"
 
 
-def analysis_report(result: AnalysisResult, include_source: bool = True) -> str:
+def _evidence_line(result: AnalysisResult, ev: Evidence) -> str:
+    where = " -> ".join(_region_name(result, r) for r in ev.regions)
+    text = f"  {ev.status} {ev.kind} [{where}]: {ev.reason}"
+    if ev.threshold is not None and ev.observed is not None:
+        op = ">=" if ev.accepted else "<"
+        text += f" ({ev.observed:.3g} {op} {ev.threshold}={ev.threshold_value:g})"
+    if ev.detail:
+        text += f" — {ev.detail}"
+    return text
+
+
+def trace_report(result: AnalysisResult, rejected_only: bool = True) -> str:
+    """Render the detection trace: per-stage telemetry and evidence.
+
+    ``rejected_only`` keeps the evidence listing to the candidates the
+    thresholds killed (the part a user cannot reconstruct from the main
+    report); pass ``False`` for the full accepted+rejected stream.
+    """
+    trace = result.trace
+    if trace is None:
+        return ""
+    parts: list[str] = []
+    rows = []
+    for st in trace.stages:
+        counters = " ".join(f"{k}={st.counters[k]}" for k in sorted(st.counters))
+        rows.append([st.stage, st.detector, st.wall_time_s * 1e3, counters or "-"])
+    parts.append(
+        format_table(
+            ["stage", "detector", "ms", "counters"],
+            rows,
+            title="Detection trace",
+        )
+    )
+    evidence = trace.rejected() if rejected_only else trace.evidence
+    if evidence:
+        parts.append("Candidate evidence:" if not rejected_only
+                     else "Rejected candidates:")
+        for ev in evidence:
+            parts.append(_evidence_line(result, ev))
+    return "\n".join(parts)
+
+
+def analysis_report(
+    result: AnalysisResult,
+    include_source: bool = True,
+    include_trace: bool = True,
+) -> str:
     """Render the full detection report as text."""
     parts: list[str] = []
     label = summarize_patterns(result)
@@ -105,6 +155,12 @@ def analysis_report(result: AnalysisResult, include_source: bool = True) -> str:
             )
     if result.reductions:
         parts.append("")
+
+    if include_trace and result.trace is not None:
+        trace_text = trace_report(result)
+        if trace_text:
+            parts.append(trace_text)
+            parts.append("")
 
     if include_source:
         parts.append("Annotated source:")

@@ -54,10 +54,15 @@ def format_table(
 
 
 def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
 
 
 def _is_number(value: object) -> bool:
+    # None cells render as "-" and keep a numeric column right-aligned.
+    if value is None:
+        return True
     return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -15,8 +15,13 @@ Guarantees:
   :class:`BenchmarkOutcome` carries the canonical profile digest so equality
   is checkable down to the serialized profile bytes.
 * **Compact results** — workers return plain-data summaries (labels,
-  pipeline coefficients, simulated speedups, digests), not multi-megabyte
-  :class:`AnalysisResult` objects, keeping pickling off the critical path.
+  pipeline coefficients, simulated speedups, digests, evidence counts), not
+  multi-megabyte :class:`AnalysisResult` objects, keeping pickling off the
+  critical path.
+* **Versioned records** — outcomes serialize through
+  :meth:`BenchmarkOutcome.to_dict`/``from_dict`` stamped with the analysis
+  ``schema_version`` (see :mod:`repro.patterns.schema`), the same document
+  convention the CLI's ``--json`` modes emit.
 
 An optional shared profile cache directory lets workers reuse on-disk
 profiles (writes are atomic, so concurrent workers are safe).
@@ -27,7 +32,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 
 @dataclass(frozen=True)
@@ -45,6 +50,73 @@ class BenchmarkOutcome:
     pipelines: tuple[tuple[int, int, float, float, float], ...]
     #: sha256 of the canonical profile JSON — byte-level profile identity
     profile_digest: str
+    #: accepted/rejected candidate counts from the detection evidence trace
+    evidence_accepted: int = 0
+    evidence_rejected: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON-compatible record (the analysis schema version)."""
+        from repro.patterns.schema import SCHEMA_VERSION
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "suite": self.suite,
+            "loc": self.loc,
+            "label": self.label,
+            "primary_share": self.primary_share,
+            "best_speedup": self.best_speedup,
+            "best_threads": self.best_threads,
+            "pipelines": [list(p) for p in self.pipelines],
+            "profile_digest": self.profile_digest,
+            "evidence_accepted": self.evidence_accepted,
+            "evidence_rejected": self.evidence_rejected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchmarkOutcome":
+        """Rebuild an outcome from :meth:`to_dict`; rejects other versions."""
+        from repro.patterns.schema import SCHEMA_VERSION
+
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported outcome schema version {version!r}")
+        return cls(
+            name=data["name"],
+            suite=data["suite"],
+            loc=data["loc"],
+            label=data["label"],
+            primary_share=data["primary_share"],
+            best_speedup=data["best_speedup"],
+            best_threads=data["best_threads"],
+            pipelines=tuple(tuple(p) for p in data["pipelines"]),
+            profile_digest=data["profile_digest"],
+            evidence_accepted=data.get("evidence_accepted", 0),
+            evidence_rejected=data.get("evidence_rejected", 0),
+        )
+
+
+def outcome_from_analysis(spec, result, sim_outcome) -> BenchmarkOutcome:
+    """Condense one benchmark's analysis + simulation into an outcome."""
+    from repro.patterns.engine import primary_pattern_share, summarize_patterns
+    from repro.profiling.serialize import profile_digest
+
+    trace = result.trace
+    return BenchmarkOutcome(
+        name=spec.name,
+        suite=spec.suite,
+        loc=spec.loc,
+        label=summarize_patterns(result),
+        primary_share=primary_pattern_share(result),
+        best_speedup=sim_outcome.best_speedup,
+        best_threads=sim_outcome.best_threads,
+        pipelines=tuple(
+            (p.loop_x, p.loop_y, p.a, p.b, p.efficiency) for p in result.pipelines
+        ),
+        profile_digest=profile_digest(result.profile),
+        evidence_accepted=len(trace.accepted()) if trace is not None else 0,
+        evidence_rejected=len(trace.rejected()) if trace is not None else 0,
+    )
 
 
 def analyze_one(name: str, cache_dir: str | None = None) -> BenchmarkOutcome:
@@ -57,8 +129,7 @@ def analyze_one(name: str, cache_dir: str | None = None) -> BenchmarkOutcome:
     from repro.bench_programs.registry import get_benchmark
     from repro.lang.parser import parse_program
     from repro.lang.validate import validate_program
-    from repro.patterns.engine import analyze, primary_pattern_share, summarize_patterns
-    from repro.profiling.serialize import profile_digest
+    from repro.patterns.engine import analyze
     from repro.sim import plan_and_simulate
 
     spec = get_benchmark(name)
@@ -77,20 +148,7 @@ def analyze_one(name: str, cache_dir: str | None = None) -> BenchmarkOutcome:
         min_pairs=spec.min_pairs,
         cache=cache,
     )
-    outcome = plan_and_simulate(result)
-    return BenchmarkOutcome(
-        name=spec.name,
-        suite=spec.suite,
-        loc=spec.loc,
-        label=summarize_patterns(result),
-        primary_share=primary_pattern_share(result),
-        best_speedup=outcome.best_speedup,
-        best_threads=outcome.best_threads,
-        pipelines=tuple(
-            (p.loop_x, p.loop_y, p.a, p.b, p.efficiency) for p in result.pipelines
-        ),
-        profile_digest=profile_digest(result.profile),
-    )
+    return outcome_from_analysis(spec, result, plan_and_simulate(result))
 
 
 def analyze_registry(

@@ -1,0 +1,147 @@
+"""Versioned analysis schema tests: round-trip fidelity, version gating,
+and the BenchmarkOutcome record convention."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.patterns.engine import (
+    analyze,
+    primary_pattern_regions,
+    summarize_patterns,
+)
+from repro.patterns.framework import AnalysisResult
+from repro.patterns.schema import (
+    SCHEMA_VERSION,
+    analysis_from_dict,
+    analysis_from_json,
+    analysis_to_dict,
+    analysis_to_json,
+    canonical_analysis_json,
+)
+from repro.runtime.parallel import BenchmarkOutcome
+
+from conftest import parsed
+
+REDUCTION_SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+
+PIPELINE_SRC = """\
+void kernel(float mean[], float path[], int n) {
+    for (int i = 0; i < n; i++) {
+        mean[i] = mean[i] * 0.5 + i;
+    }
+    for (int j = 1; j < n; j++) {
+        path[j] = path[j - 1] + mean[j];
+    }
+}
+"""
+
+
+def analyzed(src, entry, args):
+    return analyze(parsed(src), entry, [args])
+
+
+@pytest.fixture(scope="module")
+def reduction_result():
+    return analyzed(REDUCTION_SRC, "total", [np.ones(16), 16])
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    return analyzed(PIPELINE_SRC, "kernel", [np.zeros(32), np.zeros(32), 32])
+
+
+class TestRoundTrip:
+    def test_compact_json_round_trips_byte_identically(self, reduction_result):
+        text = canonical_analysis_json(reduction_result)
+        restored = analysis_from_json(text)
+        assert canonical_analysis_json(restored) == text
+
+    def test_pretty_and_compact_agree(self, reduction_result):
+        pretty = analysis_to_json(reduction_result, pretty=True)
+        compact = analysis_to_json(reduction_result, pretty=False)
+        assert pretty != compact
+        assert json.loads(pretty) == json.loads(compact)
+
+    def test_label_and_regions_preserved(self, pipeline_result):
+        restored = AnalysisResult.from_json(pipeline_result.to_json())
+        assert summarize_patterns(restored) == summarize_patterns(pipeline_result)
+        assert primary_pattern_regions(restored) == primary_pattern_regions(
+            pipeline_result
+        )
+
+    def test_trace_and_evidence_preserved(self, reduction_result):
+        restored = analysis_from_dict(analysis_to_dict(reduction_result))
+        assert restored.trace is not None
+        assert [st.detector for st in restored.trace.stages] == [
+            st.detector for st in reduction_result.trace.stages
+        ]
+        assert restored.trace.evidence == reduction_result.trace.evidence
+
+    def test_pipelines_and_loop_classes_preserved(self, pipeline_result):
+        restored = analysis_from_dict(analysis_to_dict(pipeline_result))
+        assert len(restored.pipelines) == len(pipeline_result.pipelines)
+        for got, want in zip(restored.pipelines, pipeline_result.pipelines):
+            assert (got.loop_x, got.loop_y) == (want.loop_x, want.loop_y)
+            assert got.a == want.a and got.b == want.b
+            assert got.efficiency == want.efficiency
+        assert restored.loop_classes.keys() == pipeline_result.loop_classes.keys()
+        for region, lc in restored.loop_classes.items():
+            assert lc.classification is pipeline_result.loop_classes[region].classification
+
+
+class TestVersioning:
+    def test_schema_version_stamped(self, reduction_result):
+        doc = analysis_to_dict(reduction_result)
+        assert doc["schema_version"] == SCHEMA_VERSION == 1
+
+    def test_unsupported_version_raises(self, reduction_result):
+        doc = analysis_to_dict(reduction_result)
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            analysis_from_dict(doc)
+
+    def test_unknown_top_level_keys_tolerated(self, reduction_result):
+        # extension blocks (e.g. `bench --json`'s "simulation") must not
+        # break loaders of the same version
+        doc = analysis_to_dict(reduction_result)
+        doc["simulation"] = {"best_speedup": 2.0, "best_threads": 4}
+        restored = analysis_from_dict(doc)
+        assert summarize_patterns(restored) == summarize_patterns(reduction_result)
+
+
+class TestBenchmarkOutcome:
+    OUTCOME = BenchmarkOutcome(
+        name="demo",
+        suite="synthetic",
+        loc=10,
+        label="Reduction",
+        primary_share=0.9,
+        best_speedup=3.5,
+        best_threads=4,
+        pipelines=((1, 2, 1.0, 0.0, 1.0),),
+        profile_digest="deadbeef",
+        evidence_accepted=2,
+        evidence_rejected=1,
+    )
+
+    def test_round_trip(self):
+        doc = self.OUTCOME.to_dict()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert BenchmarkOutcome.from_dict(doc) == self.OUTCOME
+        assert json.loads(json.dumps(doc)) == doc  # JSON-compatible
+
+    def test_wrong_version_rejected(self):
+        doc = self.OUTCOME.to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            BenchmarkOutcome.from_dict(doc)

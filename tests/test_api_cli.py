@@ -1,5 +1,7 @@
 """High-level API and CLI tests."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -125,6 +127,52 @@ class TestCli:
         text = out_path.read_text()
         assert "Table VI" in text
         assert "| NO |" not in text  # every label matches
+
+    def test_analyze_json(self, tmp_path, capsys):
+        from repro.patterns.schema import SCHEMA_VERSION, analysis_from_json
+        from repro.patterns.engine import summarize_patterns
+
+        path = tmp_path / "total.minic"
+        path.write_text(SRC)
+        base = ["analyze", str(path), "--entry", "total",
+                "--rand", "A:32", "--scalar", "32"]
+        assert main(base + ["--json"]) == 0
+        pretty = capsys.readouterr().out
+        doc = json.loads(pretty)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert summarize_patterns(analysis_from_json(pretty)) == "Reduction"
+        # compact mode: one line, same document (modulo the re-run's
+        # trace wall-clock, which is telemetry, not analysis output)
+        assert main(base + ["--json", "--compact"]) == 0
+        compact = capsys.readouterr().out
+        assert compact.count("\n") == 1
+        doc2 = json.loads(compact)
+        doc.pop("trace"), doc2.pop("trace")
+        assert doc2 == doc
+
+    def test_detect_json_keeps_stdout_pure(self, tmp_path, capsys):
+        src_path = tmp_path / "total.minic"
+        src_path.write_text(SRC)
+        code = main(
+            ["detect", str(src_path), "--entry", "total",
+             "--rand", "A:32", "--scalar", "32",
+             "--cache-dir", str(tmp_path / "cache"), "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # no provenance chatter on stdout
+        assert doc["schema_version"] >= 1
+        assert "profile source" in captured.err
+
+    def test_bench_json_carries_simulation_block(self, capsys):
+        assert main(["bench", "fib", "--json", "--compact"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["simulation"]["best_speedup"] > 1.0
+        assert doc["simulation"]["best_threads"] >= 1
+        # still a loadable analysis document despite the extension block
+        from repro.patterns.schema import analysis_from_dict
+
+        assert analysis_from_dict(doc).hotspots
 
     def test_analyze_zeros_array(self, tmp_path, capsys):
         src = "void f(float A[][], int n) { for (int i = 0; i < n; i++) { A[i][0] = 1.0; } }"
