@@ -30,7 +30,13 @@ from repro.patterns.schema import (
 )
 from repro.profiling.hotspots import DEFAULT_THRESHOLD
 from repro.reporting.report import analysis_report, trace_report
-from repro.runtime.parallel import BenchmarkOutcome, analyze_registry
+from repro.runtime.parallel import (
+    AnalysisTimeout,
+    BenchmarkOutcome,
+    FailedOutcome,
+    analyze_registry,
+    outcome_from_dict,
+)
 
 
 def compile_source(source: str) -> Program:
@@ -66,7 +72,10 @@ __all__ = [
     "analysis_report",
     "trace_report",
     "analyze_registry",
+    "AnalysisTimeout",
     "BenchmarkOutcome",
+    "FailedOutcome",
+    "outcome_from_dict",
     "AnalysisContext",
     "AnalysisTrace",
     "Detector",

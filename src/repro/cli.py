@@ -16,6 +16,13 @@ left to right.
 emit the versioned analysis schema (see ``repro.patterns.schema``) instead
 of the text report — pretty-printed by default, one canonical line with
 ``--compact``.
+
+``bench`` and ``table3`` tolerate per-program failures: ``--timeout`` and
+``--retries`` bound each analysis attempt, and ``table3`` renders a failed
+program as a row of ``-`` cells plus a failure footer (``--json`` emits the
+structured failure record instead).  ``--keep-going`` (the default) exits 0
+with partial results; ``--fail-fast`` stops at the first exhausted failure
+and exits non-zero.
 """
 
 from __future__ import annotations
@@ -235,8 +242,29 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_failure(args: argparse.Namespace, failure) -> int:
+    """Render a structured bench failure record (text or --json) and fail."""
+    if args.json:
+        doc = failure.to_dict()
+        if args.compact:
+            from repro.profiling.serialize import canonical_json
+
+            print(canonical_json(doc))
+        else:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        return 1
+    print(
+        f"bench: analysis of {failure.name!r} FAILED after "
+        f"{failure.attempts} attempt(s): {failure.error_type}: {failure.message}",
+        file=sys.stderr,
+    )
+    print(f"bench:   at {failure.traceback_summary}", file=sys.stderr)
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench_programs import analyze_benchmark, get_benchmark
+    from repro.runtime.parallel import call_with_timeout, failure_record
     from repro.sim import plan_and_simulate
 
     if args.smoke:
@@ -244,8 +272,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.name is None:
         print("bench: a benchmark name is required (or use --smoke)", file=sys.stderr)
         return 2
-    spec = get_benchmark(args.name)
-    result = analyze_benchmark(args.name)
+    retries = max(0, args.retries)
+    for attempt in range(1, retries + 2):
+        try:
+            spec = get_benchmark(args.name)
+            result = call_with_timeout(
+                lambda name, _cache: analyze_benchmark(name),
+                args.name, None, args.timeout,
+            )
+            break
+        except Exception as exc:
+            if attempt <= retries:
+                continue
+            return _bench_failure(args, failure_record(args.name, exc, attempt))
     outcome = plan_and_simulate(result)
     if args.json:
         from repro.patterns.schema import analysis_to_dict
@@ -282,15 +321,34 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _failure_footer(failures, total: int) -> str:
+    """Human footer naming every failed program and its deciding error."""
+    lines = [f"{len(failures)} of {total} program(s) failed:"]
+    for f in failures:
+        lines.append(
+            f"  {f.name}: {f.error_type}: {f.message} "
+            f"(attempts={f.attempts})"
+        )
+        lines.append(f"    at {f.traceback_summary}")
+    return "\n".join(lines)
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.reporting.tables import format_table
-    from repro.runtime.parallel import analyze_registry
+    from repro.runtime.parallel import FailedOutcome, analyze_registry
 
     outcomes = analyze_registry(
         max_workers=args.jobs,
         cache_dir=args.cache_dir,
         parallel=args.parallel,
+        timeout=args.timeout,
+        retries=args.retries,
+        fail_fast=not args.keep_going,
     )
+    failures = [o for o in outcomes if isinstance(o, FailedOutcome)]
+    # --keep-going (default) reports partial results and exits 0; --fail-fast
+    # stops at the first exhausted failure and makes the run exit non-zero.
+    exit_code = 1 if failures and not args.keep_going else 0
     if args.json:
         from repro.profiling.serialize import canonical_json
 
@@ -299,9 +357,11 @@ def _cmd_table3(args: argparse.Namespace) -> int:
             print(canonical_json(docs))
         else:
             print(json.dumps(docs, indent=2, sort_keys=True))
-        return 0
+        return exit_code
     rows = [
-        [
+        [o.name, None, None, None, None, None, None]
+        if isinstance(o, FailedOutcome)
+        else [
             o.name,
             o.suite,
             o.loc,
@@ -319,7 +379,9 @@ def _cmd_table3(args: argparse.Namespace) -> int:
             title="Table III (reproduced)",
         )
     )
-    return 0
+    if failures:
+        print(_failure_footer(failures, len(outcomes)))
+    return exit_code
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -408,6 +470,10 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--cache-dir", default=None,
                          help="cache directory for --smoke (default: fresh temp dir)")
     p_bench.add_argument("--no-source", action="store_true")
+    p_bench.add_argument("--timeout", type=float, default=None,
+                         help="per-attempt analysis timeout in seconds")
+    p_bench.add_argument("--retries", type=int, default=0,
+                         help="re-run a failing analysis up to N extra times")
     _add_json_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -421,6 +487,18 @@ def main(argv: list[str] | None = None) -> int:
                       help="worker process count (default: cpu count)")
     p_t3.add_argument("--cache-dir", default=None,
                       help="shared profile cache directory for the workers")
+    p_t3.add_argument("--timeout", type=float, default=None,
+                      help="per-program analysis timeout in seconds")
+    p_t3.add_argument("--retries", type=int, default=0,
+                      help="re-run a failing program up to N extra times "
+                           "(exponential backoff)")
+    p_t3.add_argument("--keep-going", dest="keep_going", action="store_true",
+                      default=True,
+                      help="report partial results and exit 0 when some "
+                           "programs fail (default)")
+    p_t3.add_argument("--fail-fast", dest="keep_going", action="store_false",
+                      help="stop the sweep at the first exhausted failure "
+                           "and exit non-zero")
     _add_json_flags(p_t3)
     p_t3.set_defaults(func=_cmd_table3)
 

@@ -47,6 +47,14 @@ from repro.profiling.serialize import canonical_json, profile_from_dict, profile
 
 #: Version of the analysis document layout.  Bump on any change to the
 #: structure below; ``analysis_from_dict`` refuses other versions.
+#:
+#: The same version stamps the per-benchmark outcome records of
+#: :mod:`repro.runtime.parallel` — including the ``"failed": true``
+#: failure records a fault-tolerant sweep emits for crashed or timed-out
+#: programs.  Failure records are an *extension* document kind (an extra
+#: marker key, no change to the analysis layout), so they ride on the
+#: existing version; loaders dispatch via
+#: :func:`repro.runtime.parallel.outcome_from_dict`.
 SCHEMA_VERSION = 1
 
 

@@ -23,6 +23,12 @@ The root directory defaults to ``$REPRO_PROFILE_CACHE`` or
 so concurrent processes — e.g. the workers of
 :mod:`repro.runtime.parallel` — can share one cache; a corrupted or
 truncated entry is deleted and treated as a miss.
+
+The cache is strictly best-effort: an entry that cannot be *read*
+(permissions, I/O error) is a miss that bumps ``CacheStats.read_errors``,
+and a failed *store* after a successful profiling run (read-only root,
+full disk) bumps ``CacheStats.store_errors`` and still returns the
+computed profile — cache trouble never forfeits completed work.
 """
 
 from __future__ import annotations
@@ -112,6 +118,13 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0  # corrupted entries removed
+    #: present-but-unreadable entries (permissions, I/O errors) — a broken
+    #: cache, unlike the cold misses above; each also counts as a miss
+    #: because the profile is recomputed.
+    read_errors: int = 0
+    #: failed persists after a successful profiling run (read-only root,
+    #: full disk); the computed profile is still returned to the caller.
+    store_errors: int = 0
 
 
 @dataclass
@@ -131,12 +144,19 @@ class ProfileCache:
         """Return the cached profile for *key*, or None on miss.
 
         A file that fails to parse (truncated write, disk corruption, or an
-        incompatible format version) is removed and reported as a miss.
+        incompatible format version) is removed and reported as a miss.  An
+        entry that exists but cannot be read (``PermissionError``, ``EIO``)
+        is also a miss, but bumps ``read_errors`` so operators can tell a
+        broken cache from a cold one.
         """
         path = self.path_for(key)
         try:
             text = path.read_text()
-        except (FileNotFoundError, OSError):
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.read_errors += 1
             self.stats.misses += 1
             return None
         try:
@@ -202,5 +222,10 @@ def cached_profile_runs(
         program, entry, arg_sets,
         record_calltree=record_calltree, max_cost=max_cost,
     )
-    cache.store(key, profile)
+    # The profile is already computed; an unwritable cache (read-only dir,
+    # full disk) must not forfeit it.  Future calls simply recompute.
+    try:
+        cache.store(key, profile)
+    except OSError:
+        cache.stats.store_errors += 1
     return profile, False

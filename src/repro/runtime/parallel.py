@@ -1,4 +1,4 @@
-"""Process-parallel registry analysis.
+"""Process-parallel registry analysis with per-program fault isolation.
 
 Table III re-runs the whole interpret → profile → detect → simulate stack
 for every registry program; the runs are completely independent, so this
@@ -8,20 +8,30 @@ Guarantees:
 
 * **Deterministic ordering** — results come back in the order the names
   were given (registry order by default), independent of worker completion
-  order (``Executor.map`` semantics).
+  order: futures are submitted individually and reassembled by index.
 * **Parallel ≡ serial** — each worker parses its program from source and
   calls the analysis engine directly, bypassing every in-process cache a
   forked child might inherit; the analysis itself is deterministic, and
   :class:`BenchmarkOutcome` carries the canonical profile digest so equality
-  is checkable down to the serialized profile bytes.
+  is checkable down to the serialized profile bytes.  The guarantee holds
+  for every program that succeeds on both paths.
+* **Fault isolation** — a worker that raises, times out, or dies yields a
+  structured :class:`FailedOutcome` record (exception type, message,
+  traceback summary, attempt count) in that program's slot instead of
+  aborting the sweep.  Failures are retried up to ``retries`` times with
+  exponential backoff; a broken pool (e.g. an OOM-killed child taking the
+  executor down with :class:`BrokenProcessPool`) degrades to in-process
+  serial execution for every program still unresolved, so completed work
+  is never forfeited.
 * **Compact results** — workers return plain-data summaries (labels,
   pipeline coefficients, simulated speedups, digests, evidence counts), not
   multi-megabyte :class:`AnalysisResult` objects, keeping pickling off the
   critical path.
-* **Versioned records** — outcomes serialize through
-  :meth:`BenchmarkOutcome.to_dict`/``from_dict`` stamped with the analysis
-  ``schema_version`` (see :mod:`repro.patterns.schema`), the same document
-  convention the CLI's ``--json`` modes emit.
+* **Versioned records** — outcomes and failures serialize through
+  ``to_dict``/``from_dict`` stamped with the analysis ``schema_version``
+  (see :mod:`repro.patterns.schema`), the same document convention the
+  CLI's ``--json`` modes emit; :func:`outcome_from_dict` dispatches on the
+  ``"failed"`` marker.
 
 An optional shared profile cache directory lets workers reuse on-disk
 profiles (writes are atomic, so concurrent workers are safe).
@@ -30,9 +40,24 @@ profiles (writes are atomic, so concurrent workers are safe).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
+
+#: Exception message length kept in failure records.
+_MESSAGE_LIMIT = 300
+
+#: Traceback frames kept in failure records (innermost last).
+_TRACEBACK_FRAMES = 3
+
+
+class AnalysisTimeout(RuntimeError):
+    """One program's analysis exceeded the per-program timeout."""
 
 
 @dataclass(frozen=True)
@@ -53,6 +78,9 @@ class BenchmarkOutcome:
     #: accepted/rejected candidate counts from the detection evidence trace
     evidence_accepted: int = 0
     evidence_rejected: int = 0
+
+    #: discriminator shared with :class:`FailedOutcome`
+    ok = True
 
     def to_dict(self) -> dict[str, Any]:
         """Versioned JSON-compatible record (the analysis schema version)."""
@@ -81,6 +109,8 @@ class BenchmarkOutcome:
         version = data.get("schema_version")
         if version != SCHEMA_VERSION:
             raise ValueError(f"unsupported outcome schema version {version!r}")
+        if data.get("failed"):
+            raise ValueError("failure record passed to BenchmarkOutcome.from_dict")
         return cls(
             name=data["name"],
             suite=data["suite"],
@@ -94,6 +124,100 @@ class BenchmarkOutcome:
             evidence_accepted=data.get("evidence_accepted", 0),
             evidence_rejected=data.get("evidence_rejected", 0),
         )
+
+
+@dataclass(frozen=True)
+class FailedOutcome:
+    """Structured record of one program whose analysis did not complete.
+
+    Fills the program's slot in :func:`analyze_registry` results so a
+    partial sweep still reports every requested name exactly once.  The
+    record is an *extension* of the outcome document convention: it carries
+    the same ``schema_version`` plus a ``"failed": true`` marker, so
+    ``table3 --json`` consumers can mix the two row kinds safely (unknown
+    keys are already tolerated by the schema's loaders).
+    """
+
+    name: str
+    #: exception class name (``"AnalysisTimeout"`` for per-program timeouts)
+    error_type: str
+    message: str
+    #: innermost frames, rendered ``file:line in func``; parallel failures
+    #: quote the worker-side traceback the executor forwarded
+    traceback_summary: str
+    #: total runs attempted (1 + retries consumed)
+    attempts: int
+
+    #: discriminator shared with :class:`BenchmarkOutcome`
+    ok = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON-compatible failure record."""
+        from repro.patterns.schema import SCHEMA_VERSION
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "failed": True,
+            "name": self.name,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback_summary": self.traceback_summary,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FailedOutcome":
+        """Rebuild a failure record from :meth:`to_dict`."""
+        from repro.patterns.schema import SCHEMA_VERSION
+
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported outcome schema version {version!r}")
+        if not data.get("failed"):
+            raise ValueError("success record passed to FailedOutcome.from_dict")
+        return cls(
+            name=data["name"],
+            error_type=data["error_type"],
+            message=data["message"],
+            traceback_summary=data["traceback_summary"],
+            attempts=data["attempts"],
+        )
+
+
+def outcome_from_dict(data: dict[str, Any]) -> "BenchmarkOutcome | FailedOutcome":
+    """Decode either record kind, dispatching on the ``"failed"`` marker."""
+    if data.get("failed"):
+        return FailedOutcome.from_dict(data)
+    return BenchmarkOutcome.from_dict(data)
+
+
+def _summarize_traceback(exc: BaseException) -> str:
+    """Condense *exc*'s traceback to its innermost frames.
+
+    Exceptions re-raised from a worker process carry the remote traceback
+    only as a ``_RemoteTraceback`` cause string; prefer its ``File`` lines
+    so the summary points into the worker's code, not the executor's.
+    """
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        lines = [ln.strip() for ln in str(cause).splitlines() if ln.strip().startswith("File ")]
+        if lines:
+            return " <- ".join(reversed(lines[-_TRACEBACK_FRAMES:]))
+    frames = traceback.extract_tb(exc.__traceback__)[-_TRACEBACK_FRAMES:]
+    return " <- ".join(
+        f"{os.path.basename(f.filename)}:{f.lineno} in {f.name}"
+        for f in reversed(frames)
+    ) or "<no traceback>"
+
+
+def failure_record(name: str, exc: BaseException, attempts: int) -> FailedOutcome:
+    return FailedOutcome(
+        name=name,
+        error_type=type(exc).__name__,
+        message=str(exc)[:_MESSAGE_LIMIT],
+        traceback_summary=_summarize_traceback(exc),
+        attempts=attempts,
+    )
 
 
 def outcome_from_analysis(spec, result, sim_outcome) -> BenchmarkOutcome:
@@ -151,25 +275,192 @@ def analyze_one(name: str, cache_dir: str | None = None) -> BenchmarkOutcome:
     return outcome_from_analysis(spec, result, plan_and_simulate(result))
 
 
+def call_with_timeout(
+    analyze_fn: Callable[[str, str | None], BenchmarkOutcome],
+    name: str,
+    cache_dir: str | None,
+    timeout: float | None,
+) -> BenchmarkOutcome:
+    """Run ``analyze_fn(name, cache_dir)``, bounded by a SIGALRM timer.
+
+    The timer measures pure execution time (it starts only once the call is
+    actually running — queue wait in a busy pool never counts) and fires as
+    :class:`AnalysisTimeout`, which frees the worker slot for the next
+    program.  Signals only work on the main thread of a process; off the
+    main thread (or without SIGALRM) the call runs unbounded.
+    """
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return analyze_fn(name, cache_dir)
+
+    def _on_alarm(signum, frame):
+        raise AnalysisTimeout(f"analysis of {name!r} exceeded {timeout:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return analyze_fn(name, cache_dir)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_task(analyze_fn, name: str, cache_dir: str | None, timeout: float | None):
+    """Top-level (picklable) worker entry: one program, timeout-bounded."""
+    return call_with_timeout(analyze_fn, name, cache_dir, timeout)
+
+
+def _backoff_delay(backoff: float, attempt: int) -> float:
+    """Exponential backoff before re-running *attempt* (1-based)."""
+    return backoff * (2 ** (attempt - 1))
+
+
+def _analyze_serial(
+    names: Sequence[str],
+    indices: Sequence[int],
+    results: dict[int, "BenchmarkOutcome | FailedOutcome"],
+    attempts: dict[int, int],
+    cache_dir: str | None,
+    analyze_fn,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    fail_fast: bool,
+) -> None:
+    """Resolve *indices* in-process, honoring retry/timeout/fail-fast.
+
+    Shared by the ``parallel=False`` path (all indices) and the broken-pool
+    degradation path (whatever the pool left unresolved); mutates *results*
+    and *attempts* in place so prior pool attempts count against the retry
+    budget.
+    """
+    for i in indices:
+        name = names[i]
+        while True:
+            attempts[i] = attempts.get(i, 0) + 1
+            try:
+                results[i] = call_with_timeout(analyze_fn, name, cache_dir, timeout)
+                break
+            except Exception as exc:
+                if attempts[i] <= retries:
+                    time.sleep(_backoff_delay(backoff, attempts[i]))
+                    continue
+                results[i] = failure_record(name, exc, attempts[i])
+                break
+        if fail_fast and isinstance(results[i], FailedOutcome):
+            return
+
+
+def _analyze_parallel(
+    names: Sequence[str],
+    max_workers: int,
+    cache_dir: str | None,
+    analyze_fn,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    fail_fast: bool,
+    results: dict[int, "BenchmarkOutcome | FailedOutcome"],
+    attempts: dict[int, int],
+) -> None:
+    """Fan *names* over a process pool with per-future fault isolation.
+
+    Raises :class:`BrokenProcessPool` (after shutting the pool down) when
+    the executor itself dies; the caller degrades to the serial path for
+    everything still missing from *results*.
+    """
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    pending: dict[Future, int] = {}
+
+    def submit(i: int) -> None:
+        attempts[i] = attempts.get(i, 0) + 1
+        pending[pool.submit(_pool_task, analyze_fn, names[i], cache_dir, timeout)] = i
+
+    try:
+        for i in range(len(names)):
+            submit(i)
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            stop = False
+            for fut in done:
+                i = pending.pop(fut)
+                try:
+                    results[i] = fut.result()
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    if attempts[i] <= retries:
+                        time.sleep(_backoff_delay(backoff, attempts[i]))
+                        submit(i)
+                        continue
+                    results[i] = failure_record(names[i], exc, attempts[i])
+                    if fail_fast:
+                        stop = True
+            if stop:
+                for fut in pending:
+                    fut.cancel()
+                pending.clear()
+    finally:
+        # A worker that outlived its timeout may still hold a slot; don't
+        # block result delivery on it.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def analyze_registry(
     names: Sequence[str] | None = None,
     max_workers: int | None = None,
     cache_dir: str | None = None,
     parallel: bool = True,
-) -> list[BenchmarkOutcome]:
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    fail_fast: bool = False,
+    analyze_fn: Callable[[str, str | None], BenchmarkOutcome] = analyze_one,
+) -> list["BenchmarkOutcome | FailedOutcome"]:
     """Analyze registry benchmarks, optionally across worker processes.
 
     Results are returned in the order of *names* (registry order when None)
     whichever path runs.  ``parallel=False`` runs the identical per-program
     code in this process — the reference for equality testing.
+
+    Fault tolerance: a program whose analysis raises or exceeds *timeout*
+    seconds occupies its result slot as a :class:`FailedOutcome` after
+    ``1 + retries`` attempts (exponential backoff, ``backoff * 2**n``
+    seconds between runs); the rest of the sweep is unaffected.  With
+    ``fail_fast=True`` the sweep stops at the first exhausted failure and
+    returns only the entries resolved by then (still in *names* order).
+    If the pool itself breaks mid-sweep, every unresolved program is re-run
+    serially in this process — completed outcomes are kept either way.
     """
     if names is None:
         from repro.bench_programs.registry import all_benchmarks
 
         names = [spec.name for spec in all_benchmarks()]
-    if not parallel:
-        return [analyze_one(name, cache_dir) for name in names]
-    if max_workers is None:
-        max_workers = min(len(names), os.cpu_count() or 1) or 1
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(analyze_one, names, [cache_dir] * len(names)))
+    if not names:
+        return []
+
+    results: dict[int, BenchmarkOutcome | FailedOutcome] = {}
+    attempts: dict[int, int] = {}
+    if parallel:
+        if max_workers is None:
+            max_workers = min(len(names), os.cpu_count() or 1) or 1
+        try:
+            _analyze_parallel(
+                names, max_workers, cache_dir, analyze_fn,
+                timeout, retries, backoff, fail_fast, results, attempts,
+            )
+        except BrokenProcessPool:
+            unresolved = [i for i in range(len(names)) if i not in results]
+            _analyze_serial(
+                names, unresolved, results, attempts, cache_dir,
+                analyze_fn, timeout, retries, backoff, fail_fast,
+            )
+    else:
+        _analyze_serial(
+            names, range(len(names)), results, attempts, cache_dir,
+            analyze_fn, timeout, retries, backoff, fail_fast,
+        )
+    return [results[i] for i in sorted(results)]

@@ -1,0 +1,126 @@
+"""CLI failure semantics: table3 failure rows/footer/exit codes, bench."""
+
+import json
+
+from repro.bench_programs.registry import get_benchmark
+from repro.cli import main
+from repro.runtime.parallel import BenchmarkOutcome, FailedOutcome, outcome_from_dict
+
+SUCCESS = BenchmarkOutcome(
+    name="ok_prog",
+    suite="polybench",
+    loc=12,
+    label="Do-all",
+    primary_share=0.91,
+    best_speedup=3.25,
+    best_threads=8,
+    pipelines=(),
+    profile_digest="d" * 64,
+    evidence_accepted=2,
+    evidence_rejected=1,
+)
+FAILURE = FailedOutcome(
+    name="bad_prog",
+    error_type="ValueError",
+    message="injected failure",
+    traceback_summary="worker.py:3 in _crash",
+    attempts=2,
+)
+
+
+class TestTable3FailureRendering:
+    def _patch(self, monkeypatch, outcomes):
+        seen = {}
+
+        def fake_analyze_registry(**kwargs):
+            seen.update(kwargs)
+            return outcomes
+
+        monkeypatch.setattr(
+            "repro.runtime.parallel.analyze_registry", fake_analyze_registry
+        )
+        return seen
+
+    def test_failed_row_renders_dash_cells_and_footer(self, monkeypatch, capsys):
+        self._patch(monkeypatch, [SUCCESS, FAILURE])
+        assert main(["table3"]) == 0  # --keep-going is the default
+        out = capsys.readouterr().out
+        assert "ok_prog" in out and "bad_prog" in out
+        bad_row = next(line for line in out.splitlines() if "bad_prog" in line)
+        assert bad_row.count(" - ") >= 6  # every non-name cell is a dash
+        assert "1 of 2 program(s) failed:" in out
+        assert "bad_prog: ValueError: injected failure (attempts=2)" in out
+        assert "worker.py:3 in _crash" in out
+
+    def test_fail_fast_exits_nonzero(self, monkeypatch, capsys):
+        seen = self._patch(monkeypatch, [SUCCESS, FAILURE])
+        assert main(["table3", "--fail-fast"]) == 1
+        assert seen["fail_fast"] is True
+
+    def test_keep_going_flag_explicit(self, monkeypatch, capsys):
+        seen = self._patch(monkeypatch, [SUCCESS, FAILURE])
+        assert main(["table3", "--keep-going"]) == 0
+        assert seen["fail_fast"] is False
+
+    def test_timeout_and_retries_thread_through(self, monkeypatch, capsys):
+        seen = self._patch(monkeypatch, [SUCCESS])
+        assert main(["table3", "--timeout", "2.5", "--retries", "3"]) == 0
+        assert seen["timeout"] == 2.5
+        assert seen["retries"] == 3
+        out = capsys.readouterr().out
+        assert "failed" not in out  # no footer without failures
+
+    def test_json_mixes_success_and_failure_records(self, monkeypatch, capsys):
+        self._patch(monkeypatch, [SUCCESS, FAILURE])
+        assert main(["table3", "--json", "--compact"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert len(docs) == 2
+        assert "failed" not in docs[0]
+        assert docs[1]["failed"] is True
+        assert [outcome_from_dict(d) for d in docs] == [SUCCESS, FAILURE]
+
+    def test_json_fail_fast_exit_code(self, monkeypatch, capsys):
+        self._patch(monkeypatch, [FAILURE])
+        assert main(["table3", "--json", "--fail-fast"]) == 1
+        docs = json.loads(capsys.readouterr().out)
+        assert docs[0]["error_type"] == "ValueError"
+
+
+class TestTable3SerialParallelIdentity:
+    def test_output_byte_identical_when_no_failures(self, monkeypatch, capsys):
+        """Acceptance: with a healthy registry, ``table3 --parallel`` must
+        render byte-for-byte what the serial path renders (subset of two
+        programs to keep the double sweep cheap)."""
+        specs = [get_benchmark("gesummv"), get_benchmark("reg_detect")]
+        monkeypatch.setattr(
+            "repro.bench_programs.registry.all_benchmarks", lambda: specs
+        )
+        assert main(["table3", "--no-parallel"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["table3", "--parallel"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "gesummv" in serial_out and "failed" not in serial_out
+
+
+class TestBenchFailurePaths:
+    def test_unknown_benchmark_fails_structurally(self, capsys):
+        assert main(["bench", "no_such_benchmark"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED after 1 attempt(s)" in err
+        assert "KeyError" in err
+
+    def test_unknown_benchmark_json_failure_record(self, capsys):
+        assert main(["bench", "no_such_benchmark", "--json", "--compact"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["failed"] is True
+        assert doc["error_type"] == "KeyError"
+        assert isinstance(outcome_from_dict(doc), FailedOutcome)
+
+    def test_retries_counted_in_record(self, capsys):
+        assert main(["bench", "no_such_benchmark", "--retries", "2"]) == 1
+        assert "FAILED after 3 attempt(s)" in capsys.readouterr().err
+
+    def test_healthy_bench_unaffected(self, capsys):
+        assert main(["bench", "reg_detect", "--no-source", "--timeout", "60"]) == 0
+        assert "Simulated best speedup" in capsys.readouterr().out

@@ -143,6 +143,59 @@ class TestCorruption:
         assert cache.stats.misses == 1 and cache.stats.evictions == 0
 
 
+class TestFailurePaths:
+    """Cache trouble must never forfeit a computed profile."""
+
+    def test_unwritable_root_still_returns_profile(self, program, args, tmp_path):
+        # the root sits under a regular *file*, so every mkdir/write fails
+        # with a real OSError — works even when the suite runs as root,
+        # unlike permission-bit tricks
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = ProfileCache(root=blocker / "cache")
+        profile, hit = cached_profile_runs(program, "total", args, cache=cache)
+        assert not hit and profile.total_cost > 0
+        assert cache.stats.store_errors == 1
+        assert cache.stats.stores == 0
+
+    def test_unwritable_root_recomputes_every_call(self, program, args, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = ProfileCache(root=blocker / "cache")
+        p1, _ = cached_profile_runs(program, "total", args, cache=cache)
+        p2, hit = cached_profile_runs(program, "total", args, cache=cache)
+        assert not hit
+        assert cache.stats.store_errors == 2
+        assert profile_digest(p1) == profile_digest(p2)
+
+    def test_unreadable_entry_counts_read_error_not_cold_miss(self, cache):
+        key = "ab" + "0" * 62
+        # a directory where the entry file should be: read_text raises
+        # IsADirectoryError (an OSError that is not FileNotFoundError)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.mkdir()
+        assert cache.load(key) is None
+        assert cache.stats.read_errors == 1
+        assert cache.stats.misses == 1  # still a miss: caller recomputes
+        assert cache.stats.evictions == 0
+
+    def test_cold_miss_does_not_count_read_error(self, cache):
+        assert cache.load("0" * 64) is None
+        assert cache.stats.misses == 1 and cache.stats.read_errors == 0
+
+    def test_store_error_does_not_mask_later_success(self, program, args, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        broken = ProfileCache(root=blocker / "cache")
+        cached_profile_runs(program, "total", args, cache=broken)
+        healthy = ProfileCache(root=tmp_path / "profiles")
+        _, hit1 = cached_profile_runs(program, "total", args, cache=healthy)
+        _, hit2 = cached_profile_runs(program, "total", args, cache=healthy)
+        assert (hit1, hit2) == (False, True)
+        assert healthy.stats.store_errors == 0
+
+
 class TestDeterminism:
     def test_repeated_runs_byte_identical(self, program, args):
         a = canonical_profile_json(profile_runs(program, "total", args))
