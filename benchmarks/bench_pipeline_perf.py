@@ -7,7 +7,13 @@ end-to-end registry sweeps:
 * ``cold_serial``   — fresh in-process analysis of all programs,
 * ``warm_cache``    — the same sweep against a pre-populated profile cache
                       (zero re-interpretation; the two-phase CLI workflow),
-* ``parallel``      — the sweep through ``repro.runtime.parallel``.
+* ``parallel``      — the sweep through ``repro.runtime.parallel``,
+
+plus a **service-mode** comparison: N submissions against a warm
+``repro serve`` daemon (one process, one cache, one registry load) versus
+N cold CLI invocations of the same analysis (each re-paying interpreter
+startup and import cost) — the daemon-vs-one-shot gap the analysis
+service exists to close.
 
 Results go to ``benchmarks/output/BENCH_pipeline.json`` together with the
 recorded pre-PR baseline, so the speedup is measured against a fixed
@@ -41,6 +47,87 @@ BASELINE = {
     "commit": "19f902d",
     "note": "pre-PR serial registry analysis (per-event sink dispatch, no cache)",
 }
+
+
+def _git_commit() -> str:
+    """Short hash of the measured tree, so the perf trajectory is anchored."""
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+_SERVICE_SRC = """\
+void kernel(float A[][], float x[], float y[], int n) {
+    for (int i = 0; i < n; i++) {
+        y[i] = 0.0;
+        for (int j = 0; j < n; j++) {
+            y[i] = y[i] + A[i][j] * x[j];
+        }
+    }
+}
+"""
+
+_SERVICE_ARGS = [["rand", "A:24,24"], ["rand", "x:24"], ["rand", "y:24"], ["scalar", "24"]]
+
+
+def _service_mode(n: int = 8) -> dict:
+    """N submits against a warm daemon vs N cold one-shot CLI runs."""
+    import subprocess
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import AnalysisService
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        service = AnalysisService(
+            port=0, workers=min(4, os.cpu_count() or 1), cache_dir=f"{tmp}/cache"
+        )
+        service.start_background()
+        try:
+            client = ServiceClient(service.url)
+            client.wait_healthy(timeout=10.0)
+            # one throwaway submission warms the daemon's profile cache
+            warmup = client.submit_source(_SERVICE_SRC, "kernel", _SERVICE_ARGS)
+            client.wait(warmup["id"], timeout=120.0)
+
+            t0 = time.perf_counter()
+            jobs = [
+                client.submit_source(_SERVICE_SRC, "kernel", _SERVICE_ARGS)
+                for _ in range(n)
+            ]
+            for job in jobs:
+                assert client.wait(job["id"], timeout=120.0)["state"] == "done"
+            daemon_s = time.perf_counter() - t0
+        finally:
+            service.shutdown()
+
+        source_path = pathlib.Path(tmp) / "kernel.minic"
+        source_path.write_text(_SERVICE_SRC)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(pathlib.Path(__file__).parent.parent / "src")
+        cmd = [
+            sys.executable, "-m", "repro", "detect", str(source_path),
+            "--entry", "kernel", "--rand", "A:24,24", "--rand", "x:24",
+            "--rand", "y:24", "--scalar", "24", "--json", "--compact",
+            "--cache-dir", f"{tmp}/cli-cache",
+        ]
+        t0 = time.perf_counter()
+        for _ in range(n):
+            subprocess.run(cmd, env=env, capture_output=True, check=True)
+        cli_s = time.perf_counter() - t0
+
+    return {
+        "n": n,
+        "daemon_warm_s": round(daemon_s, 4),
+        "cold_cli_s": round(cli_s, 4),
+        "speedup": round(cli_s / daemon_s, 3),
+    }
 
 
 def _stage_times() -> tuple[dict, dict]:
@@ -121,6 +208,8 @@ def main() -> int:
     e2e = _end_to_end()
     report = {
         "baseline": BASELINE,
+        "commit": _git_commit(),
+        "service_mode": _service_mode(),
         "optimized": e2e,
         "speedup_vs_baseline": {
             "cold_serial": round(BASELINE["seconds"] / e2e["cold_serial"], 3),

@@ -1,0 +1,71 @@
+"""Client smoke test against an already-running analysis daemon.
+
+CI starts ``repro serve`` in the background, points this script at it,
+and tears the daemon down afterwards::
+
+    PYTHONPATH=src python -m repro serve --port 8123 &
+    PYTHONPATH=src python benchmarks/service_smoke.py --url http://127.0.0.1:8123
+
+The smoke submits one Table III benchmark, polls to completion, and
+asserts the result matches the registry's expected detection label plus
+the simulated speedup fields — the same facts ``repro table3`` prints —
+then checks `/v1/version` and `/v1/stats` coherence.  Exit 0 on success.
+
+Not collected by pytest (no ``test_`` prefix); the in-process equivalents
+live in ``tests/test_service_http.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+BENCHMARK = "reg_detect"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--url", default=None, help="daemon address")
+    parser.add_argument("--benchmark", default=BENCHMARK)
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    import repro
+    from repro.bench_programs.registry import get_benchmark
+    from repro.patterns.schema import SCHEMA_VERSION
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    client.wait_healthy(timeout=args.startup_timeout)
+    print(f"daemon healthy at {client.url}")
+
+    version = client.version()
+    assert version["version"] == repro.__version__, version
+    assert version["schema_version"] == SCHEMA_VERSION, version
+
+    job = client.submit_benchmark(args.benchmark)
+    print(f"submitted {args.benchmark} as job {job['id']}")
+    record = client.wait(job["id"], timeout=300.0)
+    assert record["state"] == "done", record.get("error")
+
+    spec = get_benchmark(args.benchmark)
+    result = record["result"]
+    assert result["label"] == spec.expected_label, (
+        f"daemon detected {result['label']!r}, registry expects "
+        f"{spec.expected_label!r}"
+    )
+    assert result["schema_version"] == SCHEMA_VERSION
+    assert result["best_speedup"] > 1.0 and result["best_threads"] >= 2, result
+
+    stats = client.stats()
+    assert stats["jobs"]["states"]["done"] >= 1, stats
+    print(
+        f"OK: {args.benchmark} -> {result['label']} "
+        f"({result['best_speedup']:.2f}x at {result['best_threads']} threads); "
+        f"cache {stats['cache']['hits']} hit(s) / {stats['cache']['stores']} store(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,13 +27,17 @@ See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
 paper-vs-measured record.
 """
 
+# Single source of truth for the distribution version: packaging metadata
+# (pyproject's dynamic version), the CLI's --version flag, and the service's
+# GET /v1/version endpoint all read this constant.  Defined before the
+# submodule imports below so they may `from repro import __version__`.
+__version__ = "1.1.0"
+
 from repro.api import analyze_source, analysis_report, compile_source
 from repro.patterns.engine import AnalysisResult, analyze, summarize_patterns
 from repro.lang.parser import parse_program
 from repro.profiling.runner import profile_run, profile_runs
 from repro.runtime.interpreter import run_program
-
-__version__ = "1.0.0"
 
 __all__ = [
     "analyze_source",

@@ -36,6 +36,14 @@ from repro.runtime.parallel import (
     FailedOutcome,
     analyze_registry,
     outcome_from_dict,
+    run_one,
+)
+from repro.service import (
+    AnalysisService,
+    Job,
+    JobStore,
+    ServiceClient,
+    ServiceError,
 )
 
 
@@ -72,10 +80,16 @@ __all__ = [
     "analysis_report",
     "trace_report",
     "analyze_registry",
+    "run_one",
     "AnalysisTimeout",
     "BenchmarkOutcome",
     "FailedOutcome",
     "outcome_from_dict",
+    "AnalysisService",
+    "Job",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
     "AnalysisContext",
     "AnalysisTrace",
     "Detector",

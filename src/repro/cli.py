@@ -23,6 +23,15 @@ program as a row of ``-`` cells plus a failure footer (``--json`` emits the
 structured failure record instead).  ``--keep-going`` (the default) exits 0
 with partial results; ``--fail-fast`` stops at the first exhausted failure
 and exits non-zero.
+
+The service commands talk to the long-lived analysis daemon
+(see ``docs/service.md``)::
+
+    repro-patterns serve [--port 8765] [--workers N]   # run the daemon
+    repro-patterns submit FILE --entry NAME [inputs]   # queue an analysis
+    repro-patterns submit --bench NAME [--wait]        # queue a benchmark
+    repro-patterns jobs [--state done]                 # list jobs
+    repro-patterns result ID [--wait] [--json]         # fetch one result
 """
 
 from __future__ import annotations
@@ -30,8 +39,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-
-import numpy as np
 
 from repro.api import analyze_source
 from repro.reporting.report import analysis_report
@@ -49,16 +56,6 @@ def _print_analysis(args: argparse.Namespace, result) -> None:
             include_trace=not getattr(args, "no_trace", False),
         )
     )
-
-
-def _parse_array(spec: str, rng: np.random.Generator, kind: str) -> np.ndarray:
-    name, _, shape_txt = spec.partition(":")
-    if not shape_txt:
-        shape_txt = name
-    shape = tuple(int(s) for s in shape_txt.split(",") if s)
-    if kind == "zeros":
-        return np.zeros(shape)
-    return rng.random(shape)
 
 
 class _OrderedArg(argparse.Action):
@@ -83,15 +80,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arg_specs(args: argparse.Namespace) -> list[tuple[str, str]]:
+    """The ordered --scalar/--zeros/--rand options as a portable spec."""
+    return list(getattr(args, "ordered_args", []) or [])
+
+
 def _collect_args(args: argparse.Namespace) -> list:
-    rng = np.random.default_rng(args.seed)
-    call_args = []
-    for kind, value in getattr(args, "ordered_args", []) or []:
-        if kind == "scalar":
-            call_args.append(float(value) if "." in value else int(value))
-        else:
-            call_args.append(_parse_array(value, rng, kind))
-    return call_args
+    from repro.service.jobs import build_call_args
+
+    return build_call_args(_arg_specs(args), args.seed)
 
 
 def _make_cache(args: argparse.Namespace):
@@ -313,9 +310,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     from repro.bench_programs import all_benchmarks
 
+    if getattr(args, "json", False):
+        # Machine-readable catalog: the names are what the service's
+        # submit-by-name endpoint and `repro submit --bench` accept.
+        docs = [
+            {
+                "name": spec.name,
+                "suite": spec.suite,
+                "entry": spec.entry,
+                "loc": spec.loc,
+                "paper_pattern": spec.paper.pattern,
+                "expected_label": spec.expected_label,
+            }
+            for spec in all_benchmarks()
+        ]
+        if getattr(args, "compact", False):
+            from repro.profiling.serialize import canonical_json
+
+            print(canonical_json(docs))
+        else:
+            print(json.dumps(docs, indent=2, sort_keys=True))
+        return 0
     for spec in all_benchmarks():
         print(f"{spec.name:16s} {spec.suite:10s} {spec.paper.pattern}")
     return 0
@@ -384,6 +402,157 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _print_doc(args: argparse.Namespace, doc) -> None:
+    """Emit a JSON document per the --json/--compact flags (always JSON)."""
+    if getattr(args, "compact", False):
+        from repro.profiling.serialize import canonical_json
+
+        print(canonical_json(doc))
+    else:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon until interrupted (SIGINT exits cleanly)."""
+    from repro.service.server import AnalysisService
+
+    service = AnalysisService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_history=args.history,
+        jsonl_path=args.log_jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(
+        f"repro service listening on {service.url} "
+        f"({service.executor.workers} workers, cache at {service.executor.cache.root})",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _job_summary_line(record: dict) -> str:
+    error = record.get("error") or {}
+    suffix = f"  {error.get('error_type')}: {error.get('message')}" if error else ""
+    return (
+        f"job {record['id']:>4}  {record['kind']:6s} {record['state']:9s}"
+        f"{suffix}"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.bench:
+            record = client.submit_benchmark(args.bench)
+        elif args.sweep:
+            record = client.submit_sweep()
+        elif args.file:
+            if not args.entry:
+                print("submit: --entry is required with a source file", file=sys.stderr)
+                return 2
+            record = client.submit_source(
+                open(args.file).read(),
+                entry=args.entry,
+                args=_arg_specs(args),
+                seed=args.seed,
+                threshold=args.threshold,
+            )
+        else:
+            print("submit: give a source FILE, --bench NAME, or --sweep", file=sys.stderr)
+            return 2
+        if args.wait:
+            record = client.wait(record["id"], timeout=args.wait_timeout)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"submit: cannot reach {client.url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        _print_doc(args, record)
+    else:
+        print(_job_summary_line(record))
+    return 1 if record["state"] == "failed" else 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        records = client.jobs(state=args.state, kind=args.kind)
+    except (ServiceError, OSError) as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        _print_doc(args, records)
+        return 0
+    if not records:
+        print("no jobs")
+        return 0
+    for record in records:
+        print(_job_summary_line(record))
+    return 0
+
+
+def _render_result_record(record: dict) -> None:
+    """Human-readable rendering of a terminal job record."""
+    print(_job_summary_line(record))
+    error = record.get("error")
+    if error:
+        print(f"  after {error.get('attempts')} attempt(s) at {error.get('traceback_summary')}")
+        return
+    result = record.get("result")
+    if record["kind"] == "source" and result:
+        from repro.patterns.schema import analysis_from_dict
+
+        print(analysis_report(analysis_from_dict(result), include_source=False))
+    elif record["kind"] == "bench" and result:
+        print(
+            f"  {result['name']}: {result['label']} "
+            f"({result['best_speedup']:.2f}x at {result['best_threads']} threads)"
+        )
+    elif record["kind"] == "sweep" and result:
+        failed = record.get("info", {}).get("failed", 0)
+        print(f"  {len(result)} program(s), {failed} failed")
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.wait:
+            record = client.wait(args.id, timeout=args.wait_timeout)
+        else:
+            record = client.job(args.id)
+    except TimeoutError as exc:
+        print(f"result: {exc}", file=sys.stderr)
+        return 2
+    except (ServiceError, OSError) as exc:
+        print(f"result: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        _print_doc(args, record)
+    else:
+        _render_result_record(record)
+    if record["state"] == "done":
+        return 0
+    return 1 if record["state"] in ("failed", "cancelled") else 2
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.reporting.experiments import generate_experiment_report
 
@@ -405,8 +574,20 @@ def _add_json_flags(sub_parser: argparse.ArgumentParser) -> None:
                                  "pretty-printed output")
 
 
+def _add_service_url(sub_parser: argparse.ArgumentParser) -> None:
+    from repro.service.client import default_service_url
+
+    sub_parser.add_argument("--url", default=default_service_url(),
+                            help="daemon address (default: $REPRO_SERVICE_URL "
+                                 "or http://127.0.0.1:8765)")
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(prog="repro-patterns")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_analyze = sub.add_parser("analyze", help="analyze a MiniC source file")
@@ -478,7 +659,70 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("list", help="list registered benchmarks")
+    _add_json_flags(p_list)
     p_list.set_defaults(func=_cmd_list)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived analysis daemon (HTTP job queue)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="listen port (0 picks an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent analysis workers")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="shared profile cache directory (default: "
+                              "$REPRO_PROFILE_CACHE or ~/.cache/repro/profiles)")
+    p_serve.add_argument("--history", type=int, default=256,
+                         help="finished jobs retained in memory")
+    p_serve.add_argument("--log-jobs", default=None, metavar="PATH",
+                         help="append every job transition to this JSONL file")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="default per-program timeout for sweep jobs")
+    p_serve.add_argument("--retries", type=int, default=0,
+                         help="default retry budget for submitted jobs")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a job to a running analysis daemon"
+    )
+    p_submit.add_argument("file", nargs="?", default=None,
+                          help="MiniC source file to analyze")
+    p_submit.add_argument("--entry", default=None)
+    p_submit.add_argument("--scalar", action=_OrderedArg, dest="scalar")
+    p_submit.add_argument("--zeros", action=_OrderedArg, dest="zeros")
+    p_submit.add_argument("--rand", action=_OrderedArg, dest="rand")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--threshold", type=float, default=None)
+    p_submit.add_argument("--bench", default=None, metavar="NAME",
+                          help="submit a registered benchmark instead of a file")
+    p_submit.add_argument("--sweep", action="store_true",
+                          help="submit a full registry sweep")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job finishes")
+    p_submit.add_argument("--wait-timeout", type=float, default=300.0)
+    _add_service_url(p_submit)
+    _add_json_flags(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list jobs on a running daemon")
+    p_jobs.add_argument("--state", default=None,
+                        choices=["queued", "running", "done", "failed", "cancelled"])
+    p_jobs.add_argument("--kind", default=None, choices=["source", "bench", "sweep"])
+    _add_service_url(p_jobs)
+    _add_json_flags(p_jobs)
+    p_jobs.set_defaults(func=_cmd_jobs)
+
+    p_result = sub.add_parser(
+        "result", help="fetch one job's status and result from the daemon"
+    )
+    p_result.add_argument("id", type=int)
+    p_result.add_argument("--wait", action="store_true",
+                          help="block until the job reaches a terminal state")
+    p_result.add_argument("--wait-timeout", type=float, default=300.0)
+    _add_service_url(p_result)
+    _add_json_flags(p_result)
+    p_result.set_defaults(func=_cmd_result)
 
     p_t3 = sub.add_parser("table3", help="regenerate the Table III summary")
     p_t3.add_argument("--parallel", action=argparse.BooleanOptionalAction, default=True,

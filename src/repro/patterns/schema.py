@@ -409,6 +409,68 @@ def analysis_from_dict(data: dict[str, Any]) -> AnalysisResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# service job-record envelope
+# ---------------------------------------------------------------------------
+
+#: Lifecycle states of an analysis-service job (see :mod:`repro.service`).
+#: Terminal states are ``done``, ``failed``, and ``cancelled``; a failed
+#: job's ``error`` field is the :class:`~repro.runtime.parallel.FailedOutcome`
+#: record with its ``"failed": true`` marker.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+def job_record(job: dict[str, Any]) -> dict[str, Any]:
+    """Stamp a service job dict as a versioned job-record envelope.
+
+    Job records are a third document kind riding on the analysis schema
+    version (like the sweep outcome records): the envelope adds
+    ``schema_version`` and a ``"record": "job"`` discriminator, leaving the
+    job payload untouched.  A job's ``result`` field holds an ordinary
+    analysis or outcome document, so consumers dispatch with the machinery
+    they already have.
+    """
+    doc = dict(job)
+    doc["schema_version"] = SCHEMA_VERSION
+    doc["record"] = "job"
+    return doc
+
+
+def validate_job_record(doc: dict[str, Any]) -> dict[str, Any]:
+    """Check *doc* is a job record of this schema version; return it.
+
+    Raises :class:`ValueError` on a version mismatch, a missing ``"job"``
+    discriminator, or an unknown lifecycle state.
+    """
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported job record schema version {version!r}")
+    if doc.get("record") != "job":
+        raise ValueError("document is not a job record")
+    state = doc.get("state")
+    if state not in JOB_STATES:
+        raise ValueError(f"unknown job state {state!r}")
+    return doc
+
+
+def strip_trace_timings(doc: dict[str, Any]) -> dict[str, Any]:
+    """Copy of an analysis document with trace wall-clock timings zeroed.
+
+    Everything in the document is deterministic except the per-stage
+    ``wall_time_s`` measurements, so two runs of the same analysis agree
+    byte-for-byte on the canonical JSON of their stripped forms — the
+    identity the service's round-trip tests and ``analysis_digest`` callers
+    need (cf. the note on :func:`analysis_digest`).
+    """
+    doc = dict(doc)
+    trace = doc.get("trace")
+    if trace is not None:
+        trace = dict(trace)
+        trace["stages"] = [dict(st, wall_time_s=0.0) for st in trace["stages"]]
+        doc["trace"] = trace
+    return doc
+
+
 def analysis_to_json(result: AnalysisResult, pretty: bool = False) -> str:
     """Serialize *result* to JSON text.
 

@@ -126,6 +126,31 @@ class CacheStats:
     #: full disk); the computed profile is still returned to the caller.
     store_errors: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Point-in-time snapshot of every counter.
+
+        The analysis service's ``/v1/stats`` endpoint reports this for its
+        shared cache; callers get plain ints, so the snapshot stays stable
+        while the live counters keep moving.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "read_errors": self.read_errors,
+            "store_errors": self.store_errors,
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate *other*'s counters (e.g. per-worker caches) into self."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.evictions += other.evictions
+        self.read_errors += other.read_errors
+        self.store_errors += other.store_errors
+
 
 @dataclass
 class ProfileCache:

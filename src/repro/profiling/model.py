@@ -222,6 +222,7 @@ class Profile:
                 out.loop_trips[loop] = (i0 + inv, t0 + total, max(m0, peak))
             else:
                 out.loop_trips[loop] = (inv, total, peak)
+        out.loop_trips = {k: out.loop_trips[k] for k in sorted(out.loop_trips)}
         out.unique_array_addresses = max(
             self.unique_array_addresses, other.unique_array_addresses
         )

@@ -609,7 +609,10 @@ class Profiler(Sink):
                 dep = DepKey(*key)
                 deps[dep] = deps.get(dep, 0) + count
             self._deps_raw = {}
-        profile.loop_trips = {k: tuple(v) for k, v in self._trips.items()}
+        # Sorted by region id so live profiles iterate identically to
+        # cache-round-tripped ones (the serializer emits sorted order, and
+        # detector insertion order rides on this dict's iteration order).
+        profile.loop_trips = {k: tuple(self._trips[k]) for k in sorted(self._trips)}
         profile.unique_array_addresses = len(self._array_addrs)
         if profile.pet is not None:
             profile.pet.compute_inclusive()

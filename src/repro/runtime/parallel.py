@@ -318,6 +318,38 @@ def _backoff_delay(backoff: float, attempt: int) -> float:
     return backoff * (2 ** (attempt - 1))
 
 
+def run_one(
+    name: str,
+    cache_dir: str | None = None,
+    *,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    analyze_fn: Callable[[str, str | None], Any] = analyze_one,
+    prior_attempts: int = 0,
+) -> "BenchmarkOutcome | FailedOutcome | Any":
+    """Submit-one-program entry point with the sweep's fault semantics.
+
+    Runs ``analyze_fn(name, cache_dir)`` under the same timeout / retry /
+    failure-record policy :func:`analyze_registry` applies per program, but
+    for a single submission — the building block the analysis service's
+    executor and the serial sweep path share.  Never raises: after
+    ``1 + retries`` attempts (counting *prior_attempts* already consumed,
+    e.g. by a broken pool) the exhausted exception comes back as a
+    structured :class:`FailedOutcome`.
+    """
+    attempts = prior_attempts
+    while True:
+        attempts += 1
+        try:
+            return call_with_timeout(analyze_fn, name, cache_dir, timeout)
+        except Exception as exc:
+            if attempts <= retries:
+                time.sleep(_backoff_delay(backoff, attempts))
+                continue
+            return failure_record(name, exc, attempts)
+
+
 def _analyze_serial(
     names: Sequence[str],
     indices: Sequence[int],
@@ -333,23 +365,19 @@ def _analyze_serial(
     """Resolve *indices* in-process, honoring retry/timeout/fail-fast.
 
     Shared by the ``parallel=False`` path (all indices) and the broken-pool
-    degradation path (whatever the pool left unresolved); mutates *results*
-    and *attempts* in place so prior pool attempts count against the retry
-    budget.
+    degradation path (whatever the pool left unresolved); attempts already
+    consumed by the pool count against each program's retry budget.
     """
     for i in indices:
-        name = names[i]
-        while True:
-            attempts[i] = attempts.get(i, 0) + 1
-            try:
-                results[i] = call_with_timeout(analyze_fn, name, cache_dir, timeout)
-                break
-            except Exception as exc:
-                if attempts[i] <= retries:
-                    time.sleep(_backoff_delay(backoff, attempts[i]))
-                    continue
-                results[i] = failure_record(name, exc, attempts[i])
-                break
+        results[i] = run_one(
+            names[i],
+            cache_dir,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            analyze_fn=analyze_fn,
+            prior_attempts=attempts.get(i, 0),
+        )
         if fail_fast and isinstance(results[i], FailedOutcome):
             return
 

@@ -1,0 +1,26 @@
+"""Long-lived analysis service: job store, worker pool, HTTP daemon, client.
+
+Turns the one-shot CLI pipeline into a queueing system: ``repro serve``
+starts an :class:`AnalysisService` (a :class:`~repro.service.jobs.JobStore`
+fed by HTTP submissions and drained by the bounded
+:class:`~repro.service.executor.AnalysisExecutor` pool over a shared
+profile cache), and :class:`~repro.service.client.ServiceClient` /
+``repro submit|jobs|result`` talk to it.  See ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, default_service_url
+from repro.service.executor import AnalysisExecutor
+from repro.service.jobs import JOB_KINDS, Job, JobStore, build_call_args
+from repro.service.server import AnalysisService
+
+__all__ = [
+    "AnalysisExecutor",
+    "AnalysisService",
+    "Job",
+    "JobStore",
+    "JOB_KINDS",
+    "ServiceClient",
+    "ServiceError",
+    "build_call_args",
+    "default_service_url",
+]

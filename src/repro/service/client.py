@@ -1,0 +1,158 @@
+"""Blocking client for the analysis daemon (stdlib ``urllib`` only).
+
+>>> client = ServiceClient("http://127.0.0.1:8765")
+>>> job = client.submit_benchmark("reg_detect")
+>>> record = client.wait(job["id"])
+>>> record["result"]["label"]
+'Multi-loop pipeline'
+
+Every method returns the decoded JSON document; HTTP error responses
+raise :class:`ServiceError` carrying the status code and the server's
+``{"error": ...}`` payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Sequence
+
+#: Environment override for the daemon address, honored by the CLI too.
+URL_ENV_VAR = "REPRO_SERVICE_URL"
+
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+def default_service_url() -> str:
+    return os.environ.get(URL_ENV_VAR) or DEFAULT_URL
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the daemon."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Thin blocking wrapper over the daemon's ``/v1`` endpoints."""
+
+    def __init__(self, url: str | None = None, timeout: float = 30.0) -> None:
+        self.url = (url or default_service_url()).rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> Any:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (ValueError, OSError):
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+
+    # -- service-level ---------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def version(self) -> dict:
+        return self._request("GET", "/v1/version")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def wait_healthy(self, timeout: float = 10.0, poll: float = 0.1) -> dict:
+        """Poll ``/v1/health`` until the daemon answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (ServiceError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+
+    # -- job submission --------------------------------------------------
+
+    def submit_source(
+        self,
+        source: str,
+        entry: str,
+        args: Iterable[Sequence[str]] = (),
+        seed: int = 0,
+        threshold: float | None = None,
+        **extra: Any,
+    ) -> dict:
+        """Submit MiniC source for analysis; returns the queued job record.
+
+        *args* uses the portable ``(kind, value)`` spec of
+        :func:`repro.service.jobs.build_call_args`.
+        """
+        body: dict[str, Any] = {
+            "kind": "source",
+            "source": source,
+            "entry": entry,
+            "args": [list(a) for a in args],
+            "seed": seed,
+            **extra,
+        }
+        if threshold is not None:
+            body["threshold"] = threshold
+        return self._request("POST", "/v1/jobs", body)
+
+    def submit_benchmark(self, name: str, **extra: Any) -> dict:
+        """Submit one registered benchmark by name."""
+        return self._request("POST", "/v1/jobs", {"kind": "bench", "name": name, **extra})
+
+    def submit_sweep(self, names: Sequence[str] | None = None, **extra: Any) -> dict:
+        """Submit a registry sweep (all benchmarks when *names* is None)."""
+        body: dict[str, Any] = {"kind": "sweep", **extra}
+        if names is not None:
+            body["names"] = list(names)
+        return self._request("POST", "/v1/jobs", body)
+
+    # -- job queries -----------------------------------------------------
+
+    def job(self, job_id: int) -> dict:
+        """Full record (status + result/error) for one job."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: str | None = None, kind: str | None = None) -> list[dict]:
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (("state", state), ("kind", kind))
+            if value
+        )
+        doc = self._request("GET", "/v1/jobs" + (f"?{query}" if query else ""))
+        return doc["jobs"]
+
+    def cancel(self, job_id: int) -> dict:
+        """Cancel a queued job (raises :class:`ServiceError` 409 otherwise)."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: int, timeout: float = 120.0, poll: float = 0.1) -> dict:
+        """Block until the job reaches a terminal state; return its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout:g}s"
+                )
+            time.sleep(poll)

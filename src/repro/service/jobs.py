@@ -1,0 +1,302 @@
+"""Job store for the analysis service: lifecycle, history, persistence.
+
+A :class:`JobStore` is the single source of truth the daemon's HTTP front
+end and worker pool share.  Every submission becomes a :class:`Job` with a
+monotonically increasing id and walks the lifecycle::
+
+    queued -> running -> done | failed
+    queued -> cancelled
+
+State transitions happen under one lock, so a cancel can never race a
+worker's claim: ``DELETE /v1/jobs/<id>`` succeeds only while the job is
+still queued, and :meth:`JobStore.claim` skips entries cancelled while
+waiting in the queue.
+
+Job records serialize through the versioned envelope of
+:func:`repro.patterns.schema.job_record`; a failed job's ``error`` field is
+the :class:`~repro.runtime.parallel.FailedOutcome` document with its
+``"failed": true`` marker, so service consumers reuse the sweep's failure
+decoding unchanged.  History is bounded — terminal jobs beyond
+``max_history`` are evicted oldest-first (queued and running jobs are never
+evicted) — and optionally every transition is appended to a JSONL file, one
+envelope per line, giving the daemon a crash-durable audit trail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.patterns.schema import JOB_STATES, job_record
+
+#: Job kinds the executor knows how to run.
+JOB_KINDS = ("source", "bench", "sweep")
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+def build_call_args(specs: Iterable[Sequence[str]], seed: int = 0) -> list:
+    """Materialize one entry-function argument list from a portable spec.
+
+    *specs* is an ordered sequence of ``(kind, value)`` pairs — the same
+    left-to-right convention as the CLI's ``--scalar/--zeros/--rand``
+    options, which delegate here — where ``kind`` is ``"scalar"``,
+    ``"zeros"``, or ``"rand"`` and ``value`` is the option text (``"5"``,
+    ``"A:40,40"``).  Random arrays come from a generator seeded with *seed*,
+    so a spec is a complete, JSON-friendly description of the inputs: the
+    service and the CLI build bit-identical argument sets from it.
+    """
+    rng = np.random.default_rng(seed)
+    call_args: list = []
+    for kind, value in specs:
+        if kind == "scalar":
+            call_args.append(float(value) if "." in value else int(value))
+        elif kind in ("zeros", "rand"):
+            name, _, shape_txt = value.partition(":")
+            if not shape_txt:
+                shape_txt = name
+            shape = tuple(int(s) for s in shape_txt.split(",") if s)
+            call_args.append(np.zeros(shape) if kind == "zeros" else rng.random(shape))
+        else:
+            raise ValueError(f"unknown argument kind {kind!r}")
+    return call_args
+
+
+def _public_payload(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """The payload as exposed in job records: source text becomes a digest.
+
+    Raw MiniC source can be large and records are listed, persisted, and
+    polled repeatedly, so ``source`` jobs carry a sha256 + line count in
+    place of the text (the analysis result embeds the source anyway).
+    """
+    public = {k: v for k, v in payload.items() if k != "source"}
+    if kind == "source":
+        source = payload.get("source", "")
+        public["source_sha256"] = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        public["source_lines"] = source.count("\n") + bool(source)
+    return public
+
+
+@dataclass
+class Job:
+    """One submission and everything the service knows about it."""
+
+    id: int
+    kind: str
+    payload: dict[str, Any]
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: analysis / outcome document(s) once the job is ``done``
+    result: Any = None
+    #: :class:`FailedOutcome` document once the job is ``failed``
+    error: dict[str, Any] | None = None
+    #: side-channel facts that must not perturb the result document
+    #: (e.g. ``profile_cache_hit``)
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self, include_result: bool = True) -> dict[str, Any]:
+        """The versioned job-record envelope for this job.
+
+        ``include_result=False`` gives the listing summary: everything but
+        the (potentially multi-megabyte) result document.
+        """
+        doc: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "payload": _public_payload(self.kind, self.payload),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "info": dict(self.info),
+        }
+        if include_result:
+            doc["result"] = self.result
+        return job_record(doc)
+
+
+class JobStore:
+    """Thread-safe job registry + FIFO queue with bounded history."""
+
+    def __init__(
+        self,
+        max_history: int = 256,
+        jsonl_path: str | None = None,
+    ) -> None:
+        self.max_history = max(1, max_history)
+        self.jsonl_path = jsonl_path
+        self._cond = threading.Condition()
+        self._jobs: dict[int, Job] = {}
+        self._queue: deque[int] = deque()
+        self._terminal: deque[int] = deque()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.submitted = 0
+        self.evicted = 0
+        #: JSONL appends that failed (disk full, unwritable path); the
+        #: in-memory store keeps working — persistence is best-effort.
+        self.persist_errors = 0
+
+    # -- submission / claiming ------------------------------------------
+
+    def submit(self, kind: str, payload: dict[str, Any]) -> Job:
+        """Enqueue a new job; returns it in the ``queued`` state."""
+        if kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {kind!r}")
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("job store is closed")
+            job = Job(id=next(self._ids), kind=kind, payload=dict(payload))
+            self._jobs[job.id] = job
+            self._queue.append(job.id)
+            self.submitted += 1
+            self._persist(job)
+            self._cond.notify()
+        return job
+
+    def claim(self, timeout: float | None = None) -> Job | None:
+        """Pop the next queued job and mark it ``running`` atomically.
+
+        Blocks up to *timeout* seconds (forever when None) for work; returns
+        None on timeout or once the store is closed.  Jobs cancelled while
+        queued are skipped here — cancellation and claiming share the lock.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._queue:
+                    job = self._jobs.get(self._queue.popleft())
+                    if job is None or job.state != "queued":
+                        continue
+                    job.state = "running"
+                    job.started_at = time.time()
+                    self._persist(job)
+                    return job
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def close(self) -> None:
+        """Stop accepting submissions and wake every waiting claimer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- transitions ----------------------------------------------------
+
+    def finish(self, job_id: int, result: Any, info: dict[str, Any] | None = None) -> Job:
+        """Transition a running job to ``done`` with its result document."""
+        return self._complete(job_id, "done", result=result, info=info)
+
+    def fail(self, job_id: int, error: dict[str, Any], info: dict[str, Any] | None = None) -> Job:
+        """Transition a running job to ``failed`` with its failure record."""
+        return self._complete(job_id, "failed", error=error, info=info)
+
+    def cancel(self, job_id: int) -> Job:
+        """Cancel a *queued* job.
+
+        Raises :class:`KeyError` for an unknown id and :class:`ValueError`
+        once the job is running or terminal — in-flight analyses are not
+        interrupted (MiniC interpretation holds no cancellation points).
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id}")
+            if job.state != "queued":
+                raise ValueError(f"job {job_id} is {job.state}, not queued")
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            self._retire(job)
+            return job
+
+    def _complete(
+        self,
+        job_id: int,
+        state: str,
+        result: Any = None,
+        error: dict[str, Any] | None = None,
+        info: dict[str, Any] | None = None,
+    ) -> Job:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id}")
+            if job.state != "running":
+                raise ValueError(f"job {job_id} is {job.state}, not running")
+            job.state = state
+            job.result = result
+            job.error = error
+            if info:
+                job.info.update(info)
+            job.finished_at = time.time()
+            self._retire(job)
+            return job
+
+    def _retire(self, job: Job) -> None:
+        """Record a terminal transition: persist, then bound the history."""
+        self._persist(job)
+        self._terminal.append(job.id)
+        while len(self._terminal) > self.max_history:
+            evicted = self._terminal.popleft()
+            if self._jobs.pop(evicted, None) is not None:
+                self.evicted += 1
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, job_id: int) -> Job | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self, state: str | None = None, kind: str | None = None) -> list[Job]:
+        """Retained jobs in submission order, optionally filtered."""
+        with self._cond:
+            return [
+                job
+                for job_id in sorted(self._jobs)
+                if (job := self._jobs[job_id])
+                and (state is None or job.state == state)
+                and (kind is None or job.kind == kind)
+            ]
+
+    def counts(self) -> dict[str, Any]:
+        """Queue-depth and per-state tallies for ``/v1/stats``."""
+        with self._cond:
+            states = {s: 0 for s in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            return {
+                "states": states,
+                "queue_depth": states["queued"],
+                "submitted": self.submitted,
+                "retained": len(self._jobs),
+                "evicted": self.evicted,
+                "persist_errors": self.persist_errors,
+            }
+
+    # -- persistence ----------------------------------------------------
+
+    def _persist(self, job: Job) -> None:
+        """Append *job*'s current record to the JSONL log, best-effort."""
+        if self.jsonl_path is None:
+            return
+        try:
+            with open(self.jsonl_path, "a") as fh:
+                fh.write(json.dumps(job.to_dict(), sort_keys=True) + "\n")
+        except OSError:
+            self.persist_errors += 1

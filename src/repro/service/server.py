@@ -1,0 +1,249 @@
+"""HTTP front end for the analysis daemon.
+
+Built on :class:`http.server.ThreadingHTTPServer` (stdlib only); request
+threads just enqueue into / read from the shared
+:class:`~repro.service.jobs.JobStore`, so submissions return immediately
+with ``202 Accepted`` while the bounded worker pool drains the queue.
+
+Endpoints (all JSON):
+
+====================  ======================================================
+``POST /v1/jobs``     submit a job: ``{"kind": "source", "source": ...,
+                      "entry": ..., "args": [["rand", "A:24,24"], ...]}``,
+                      ``{"kind": "bench", "name": "reg_detect"}``, or
+                      ``{"kind": "sweep", "names": [...]}``
+``GET /v1/jobs``      list retained jobs (``?state=``, ``?kind=`` filters);
+                      summaries only — results are fetched per job
+``GET /v1/jobs/<id>``     full job record: status, timestamps, result/error
+``DELETE /v1/jobs/<id>``  cancel a *queued* job (409 once running/terminal)
+``GET /v1/health``    liveness + uptime
+``GET /v1/stats``     queue depth, per-state tallies, worker utilization,
+                      and the shared profile cache's counters
+``GET /v1/version``   ``repro.__version__`` + analysis schema version
+====================  ======================================================
+
+Error responses are ``{"error": <message>}`` with the usual status codes
+(400 malformed submission, 404 unknown job/route, 409 not cancellable).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro import __version__
+from repro.patterns.schema import SCHEMA_VERSION
+from repro.profiling.cache import ProfileCache
+from repro.service.executor import AnalysisExecutor
+from repro.service.jobs import JOB_KINDS, JobStore
+
+
+class AnalysisService:
+    """The daemon: one job store, one worker pool, one HTTP server.
+
+    ``port=0`` binds an ephemeral port (read it back from ``self.port``) —
+    the idiom tests and embedded use rely on.  Run blocking with
+    :meth:`serve_forever` (the CLI's ``repro serve``) or off-thread with
+    :meth:`start_background`; either way :meth:`shutdown` stops the HTTP
+    loop and the workers.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        workers: int = 2,
+        cache: ProfileCache | None = None,
+        cache_dir: str | None = None,
+        max_history: int = 256,
+        jsonl_path: str | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+    ) -> None:
+        self.store = JobStore(max_history=max_history, jsonl_path=jsonl_path)
+        self.executor = AnalysisExecutor(
+            self.store,
+            workers=workers,
+            cache=cache,
+            cache_dir=cache_dir,
+            timeout=timeout,
+            retries=retries,
+        )
+        self.started_at = time.time()
+        handler = type("AnalysisRequestHandler", (_Handler,), {"service": self})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Start the workers and block serving HTTP until :meth:`shutdown`."""
+        self.executor.start()
+        self.httpd.serve_forever(poll_interval=0.2)
+
+    def start_background(self) -> None:
+        """Start workers + HTTP loop on a daemon thread and return."""
+        self.executor.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop, close the queue, and release the socket."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.executor.shutdown(wait=False)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- request-level operations (called from handler threads) ---------
+
+    def submit(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Validate a submission body and enqueue it; raises ValueError."""
+        kind = body.get("kind")
+        if kind not in JOB_KINDS:
+            raise ValueError(f"kind must be one of {list(JOB_KINDS)}, got {kind!r}")
+        if kind == "source":
+            if not body.get("source") or not body.get("entry"):
+                raise ValueError("source jobs require 'source' and 'entry'")
+            args = body.get("args", [])
+            if not all(
+                isinstance(a, (list, tuple)) and len(a) == 2 for a in args
+            ):
+                raise ValueError("'args' must be a list of [kind, value] pairs")
+        elif kind == "bench":
+            from repro.bench_programs.registry import all_benchmarks
+
+            names = {spec.name for spec in all_benchmarks()}
+            if body.get("name") not in names:
+                raise ValueError(f"unknown benchmark {body.get('name')!r}")
+        payload = {k: v for k, v in body.items() if k != "kind"}
+        job = self.store.submit(kind, payload)
+        return job.to_dict(include_result=False)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "jobs": self.store.counts(),
+            "workers": {
+                "count": self.executor.workers,
+                "busy": self.executor.busy,
+                "peak_busy": self.executor.peak_busy,
+                "utilization": round(self.executor.utilization(), 4),
+            },
+            "cache": self.executor.cache.stats.as_dict(),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1/...`` onto the owning :class:`AnalysisService`."""
+
+    service: AnalysisService  # bound by the per-service subclass
+    protocol_version = "HTTP/1.1"
+
+    # The daemon prints one startup line; per-request logging stays off so
+    # stdout/stderr remain usable in pipelines and tests.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send(self, status: int, doc: Any) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _job_id(self, path: str) -> int | None:
+        tail = path[len("/v1/jobs/"):]
+        return int(tail) if tail.isdigit() else None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        path = url.path.rstrip("/") or "/"
+        if path == "/v1/health":
+            self._send(200, {
+                "status": "ok",
+                "uptime_s": round(time.time() - self.service.started_at, 3),
+            })
+        elif path == "/v1/version":
+            self._send(200, {
+                "version": __version__,
+                "schema_version": SCHEMA_VERSION,
+            })
+        elif path == "/v1/stats":
+            self._send(200, self.service.stats())
+        elif path == "/v1/jobs":
+            query = parse_qs(url.query)
+            jobs = self.service.store.list_jobs(
+                state=query.get("state", [None])[0],
+                kind=query.get("kind", [None])[0],
+            )
+            self._send(200, {
+                "jobs": [job.to_dict(include_result=False) for job in jobs],
+            })
+        elif path.startswith("/v1/jobs/"):
+            job_id = self._job_id(path)
+            job = None if job_id is None else self.service.store.get(job_id)
+            if job is None:
+                self._error(404, f"no job {path[len('/v1/jobs/'):]!r}")
+            else:
+                self._send(200, job.to_dict())
+        else:
+            self._error(404, f"no route {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if urlparse(self.path).path.rstrip("/") != "/v1/jobs":
+            self._error(404, f"no route {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("submission body must be a JSON object")
+            record = self.service.submit(body)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, str(exc))
+            return
+        self._send(202, record)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path = urlparse(self.path).path.rstrip("/")
+        if not path.startswith("/v1/jobs/"):
+            self._error(404, f"no route {path!r}")
+            return
+        job_id = self._job_id(path)
+        if job_id is None:
+            self._error(404, f"no job {path[len('/v1/jobs/'):]!r}")
+            return
+        try:
+            job = self.service.store.cancel(job_id)
+        except KeyError:
+            self._error(404, f"no job {job_id}")
+        except ValueError as exc:
+            self._error(409, str(exc))
+        else:
+            self._send(200, job.to_dict(include_result=False))

@@ -1,0 +1,278 @@
+"""Client round-trips against a real daemon on an ephemeral port."""
+
+import io
+import json
+import threading
+from contextlib import redirect_stdout
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.patterns.schema import SCHEMA_VERSION, strip_trace_timings
+from repro.profiling.serialize import canonical_json
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import AnalysisService
+
+SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+
+SRC_ARGS = [["rand", "A:16"], ["scalar", "16"]]
+
+#: Triple-loop matmul — slow enough (hundreds of ms interpreted) to hold a
+#: worker busy while the tests race a second submission against it.
+SLOW_SRC = """\
+void mm(float A[][], float B[][], float C[][], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            C[i][j] = 0.0;
+            for (int k = 0; k < n; k++) {
+                C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }
+        }
+    }
+}
+"""
+
+SLOW_ARGS = [
+    ["rand", "A:24,24"], ["rand", "B:24,24"], ["zeros", "C:24,24"], ["scalar", "24"],
+]
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = AnalysisService(port=0, workers=2, cache_dir=str(tmp_path / "cache"))
+    svc.start_background()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+
+
+@pytest.fixture
+def client(service):
+    c = ServiceClient(service.url)
+    c.wait_healthy(timeout=5.0)
+    return c
+
+
+class TestEndpoints:
+    def test_health_and_version(self, client):
+        assert client.health()["status"] == "ok"
+        version = client.version()
+        assert version["version"] == repro.__version__
+        assert version["schema_version"] == SCHEMA_VERSION
+
+    def test_unknown_routes_and_jobs(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client._request("GET", "/v1/nope")
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            client.job(12345)
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            client.cancel(12345)
+        assert exc.value.status == 404
+
+    def test_submit_validation(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/jobs", {"kind": "mystery"})
+        assert exc.value.status == 400
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/jobs", {"kind": "source", "entry": "f"})
+        assert exc.value.status == 400
+        with pytest.raises(ServiceError) as exc:
+            client.submit_benchmark("no_such_benchmark")
+        assert exc.value.status == 400
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert stats["workers"]["count"] == 2
+        assert set(stats["cache"]) == {
+            "hits", "misses", "stores", "evictions", "read_errors", "store_errors",
+        }
+        assert stats["jobs"]["queue_depth"] == 0
+
+
+class TestRoundTrip:
+    def test_submit_poll_result(self, client):
+        job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        assert job["state"] == "queued" and job["record"] == "job"
+        record = client.wait(job["id"], timeout=60.0)
+        assert record["state"] == "done"
+        assert record["result"]["schema_version"] == SCHEMA_VERSION
+        assert record["info"]["profile_cache_hit"] is False
+
+    def test_result_matches_detect_json_bytes(self, client, tmp_path):
+        """The daemon's analysis document is byte-identical to the CLI's
+        `detect --json --compact` for the same program, once the trace's
+        wall-clock timings (run-specific noise) are stripped."""
+        path = tmp_path / "total.minic"
+        path.write_text(SRC)
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            assert main([
+                "detect", str(path), "--entry", "total", "--rand", "A:16",
+                "--scalar", "16", "--json", "--compact",
+                "--cache-dir", str(tmp_path / "cli-cache"),
+            ]) == 0
+        cli_doc = json.loads(buf.getvalue())
+
+        job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        record = client.wait(job["id"], timeout=60.0)
+        assert canonical_json(strip_trace_timings(record["result"])) == \
+            canonical_json(strip_trace_timings(cli_doc))
+
+    def test_repeat_submission_reports_cache_hit(self, client):
+        first = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        client.wait(first["id"], timeout=60.0)
+        second = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        record = client.wait(second["id"], timeout=60.0)
+        assert record["info"]["profile_cache_hit"] is True
+        assert client.stats()["cache"]["hits"] >= 1
+
+    def test_eight_concurrent_submissions(self, client):
+        """≥ 8 concurrent clients saturate the 2-worker pool; every job
+        completes and the worker bound holds."""
+        records, errors = [], []
+
+        def one():
+            try:
+                job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+                records.append(client.wait(job["id"], timeout=120.0))
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert not errors
+        assert len(records) == 8
+        assert all(r["state"] == "done" for r in records)
+
+    def test_bench_submission_matches_table3(self, client):
+        record = client.wait(client.submit_benchmark("reg_detect")["id"], timeout=120.0)
+        assert record["state"] == "done"
+        assert record["result"]["label"] == "Multi-loop pipeline"
+
+    def test_crashing_job_fails_daemon_survives(self, client):
+        job = client.submit_source("void f() { x = 1; }", entry="f")
+        record = client.wait(job["id"], timeout=30.0)
+        assert record["state"] == "failed"
+        assert record["error"]["failed"] is True
+        assert record["error"]["error_type"] == "ValidationError"
+        assert record["error"]["schema_version"] == SCHEMA_VERSION
+        # the daemon keeps serving after the failure
+        after = client.wait(
+            client.submit_source(SRC, entry="total", args=SRC_ARGS)["id"],
+            timeout=60.0,
+        )
+        assert after["state"] == "done"
+
+
+class TestCancel:
+    def test_cancel_while_queued(self, tmp_path):
+        svc = AnalysisService(port=0, workers=1, cache_dir=str(tmp_path / "cache"))
+        svc.start_background()
+        try:
+            client = ServiceClient(svc.url)
+            client.wait_healthy(timeout=5.0)
+            # occupy the single worker, then cancel the job stuck behind it
+            slow = client.submit_source(SLOW_SRC, entry="mm", args=SLOW_ARGS)
+            queued = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+            record = client.cancel(queued["id"])
+            assert record["state"] == "cancelled"
+            assert client.job(queued["id"])["state"] == "cancelled"
+            done = client.wait(slow["id"], timeout=120.0)
+            assert done["state"] == "done"
+        finally:
+            svc.shutdown()
+
+    def test_cancel_terminal_conflicts(self, client):
+        job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        client.wait(job["id"], timeout=60.0)
+        with pytest.raises(ServiceError) as exc:
+            client.cancel(job["id"])
+        assert exc.value.status == 409
+
+
+class TestListing:
+    def test_list_and_filter(self, client):
+        done_job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        client.wait(done_job["id"], timeout=60.0)
+        failed_job = client.submit_source("void f() { x = 1; }", entry="f")
+        client.wait(failed_job["id"], timeout=30.0)
+
+        everything = client.jobs()
+        assert {r["id"] for r in everything} >= {done_job["id"], failed_job["id"]}
+        # summaries never carry the result payload
+        assert all("result" not in r for r in everything)
+        failed = client.jobs(state="failed")
+        assert failed_job["id"] in {r["id"] for r in failed}
+        assert all(r["state"] == "failed" for r in failed)
+
+
+class TestCliCommands:
+    def test_submit_jobs_result_cli(self, service, client, tmp_path, capsys):
+        path = tmp_path / "total.minic"
+        path.write_text(SRC)
+        assert main([
+            "submit", str(path), "--entry", "total", "--rand", "A:16",
+            "--scalar", "16", "--wait", "--url", service.url, "--json", "--compact",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "done"
+
+        assert main(["jobs", "--url", service.url]) == 0
+        assert "done" in capsys.readouterr().out
+
+        assert main(["result", str(record["id"]), "--url", service.url]) == 0
+        out = capsys.readouterr().out
+        assert "Primary pattern: Reduction" in out
+
+    def test_submit_bench_cli(self, service, capsys):
+        assert main([
+            "submit", "--bench", "reg_detect", "--wait", "--url", service.url,
+            "--json", "--compact",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["result"]["label"] == "Multi-loop pipeline"
+
+    def test_submit_failed_job_exits_nonzero(self, service, tmp_path, capsys):
+        path = tmp_path / "bad.minic"
+        path.write_text("void f() { x = 1; }")
+        assert main([
+            "submit", str(path), "--entry", "f", "--wait", "--url", service.url,
+        ]) == 1
+        assert "ValidationError" in capsys.readouterr().out
+
+    def test_submit_unreachable_daemon(self, capsys):
+        assert main([
+            "submit", "--bench", "reg_detect", "--url", "http://127.0.0.1:1",
+        ]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json", "--compact"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        names = {d["name"] for d in docs}
+        assert "reg_detect" in names and "fib" in names
+        assert all(
+            set(d) == {"name", "suite", "entry", "loc", "paper_pattern", "expected_label"}
+            for d in docs
+        )
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
