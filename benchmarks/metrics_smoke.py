@@ -1,0 +1,109 @@
+"""Metrics smoke test against an already-running analysis daemon.
+
+CI starts ``repro serve`` in the background (same daemon the service
+smoke uses), points this script at it, and tears the daemon down
+afterwards::
+
+    PYTHONPATH=src python -m repro serve --port 8123 &
+    PYTHONPATH=src python benchmarks/metrics_smoke.py --url http://127.0.0.1:8123
+
+The smoke submits one source analysis, waits for it, then scrapes
+``/v1/metrics`` and asserts the Prometheus exposition is well-formed and
+actually moved: job counters incremented, the run-duration histogram has
+a sample for the submitted kind, cache counters recorded the cold miss +
+store, the pool gauges read live executor state, and every detector
+stage's histogram fired.  Exit 0 on success.
+
+Not collected by pytest (no ``test_`` prefix); the in-process
+equivalents live in ``tests/test_service_http.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+
+ARGS = [["rand", "A:64"], ["scalar", "64"]]
+
+#: Series that must exist with a nonzero value after one source job.
+REQUIRED_NONZERO = (
+    "repro_jobs_submitted_total",
+    "repro_jobs_completed_total",
+    "repro_profile_cache_misses_total",
+    "repro_profile_cache_stores_total",
+    "repro_analyses_total",
+    "repro_pool_workers",
+)
+
+
+def _sample(text: str, name: str) -> float:
+    """The first sample value of *name* (any label set); raises if absent."""
+    for line in text.splitlines():
+        if line.startswith(name + " ") or line.startswith(name + "{"):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"metric {name!r} missing from /v1/metrics")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--url", default=None, help="daemon address")
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    client.wait_healthy(timeout=args.startup_timeout)
+    print(f"daemon healthy at {client.url}")
+
+    job = client.submit_source(SRC, entry="total", args=ARGS)
+    record = client.wait(job["id"], timeout=300.0)
+    assert record["state"] == "done", record.get("error")
+
+    text = client.metrics()
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for name in REQUIRED_NONZERO:
+        value = _sample(text, name)
+        assert value > 0, f"{name} = {value}, expected > 0"
+
+    # histograms: the source job's run duration and at least the stage-1
+    # detector must each have one observation
+    assert _sample(text, 'repro_job_run_seconds_count{kind="source"}') >= 1
+    assert _sample(text, 'repro_detector_stage_seconds_count{stage="loop-classes"}') >= 1
+    assert "# TYPE repro_job_queue_wait_seconds histogram" in text
+    assert "repro_jobs_queue_depth" in text
+
+    # exposition hygiene: every sample line's metric appears under a TYPE
+    typed = {
+        line.split()[2] for line in text.splitlines() if line.startswith("# TYPE ")
+    }
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        base = line.split("{")[0].split(" ")[0]
+        stripped = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in typed:
+                stripped = base[: -len(suffix)]
+                break
+        assert stripped in typed, f"sample {base!r} has no # TYPE line"
+
+    print(
+        f"OK: {int(_sample(text, 'repro_jobs_completed_total'))} job(s) completed, "
+        f"{len(typed)} metric families exposed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,15 +63,19 @@ def analyze_source(
     max_cost: int = 500_000_000,
 ) -> AnalysisResult:
     """Compile, profile (with every argument set), and detect patterns."""
-    program = compile_source(source)
-    return analyze(
-        program,
-        entry,
-        arg_sets,
-        hotspot_threshold=hotspot_threshold,
-        min_pairs=min_pairs,
-        max_cost=max_cost,
-    )
+    from repro.obs.tracing import ensure_tracer
+
+    with ensure_tracer() as tracer:
+        with tracer.span("parse"):
+            program = compile_source(source)
+        return analyze(
+            program,
+            entry,
+            arg_sets,
+            hotspot_threshold=hotspot_threshold,
+            min_pairs=min_pairs,
+            max_cost=max_cost,
+        )
 
 
 __all__ = [

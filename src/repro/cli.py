@@ -507,6 +507,19 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        text = client.metrics()
+    except (ServiceError, OSError) as exc:
+        print(f"metrics: {exc}", file=sys.stderr)
+        return 1
+    print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def _render_result_record(record: dict) -> None:
     """Human-readable rendering of a terminal job record."""
     print(_job_summary_line(record))
@@ -712,6 +725,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_service_url(p_jobs)
     _add_json_flags(p_jobs)
     p_jobs.set_defaults(func=_cmd_jobs)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="print a running daemon's /v1/metrics (Prometheus text format)",
+    )
+    _add_service_url(p_metrics)
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_result = sub.add_parser(
         "result", help="fetch one job's status and result from the daemon"

@@ -1,0 +1,192 @@
+"""Hierarchical span tracing for the analysis pipeline.
+
+Generalizes the flat per-stage :class:`~repro.patterns.framework.StageTrace`
+telemetry into a tree: a :class:`Tracer` hands out :class:`Span` context
+managers whose parent is whatever span is open on the current thread, so
+one job's trace reads::
+
+    job.run
+    ├── parse
+    ├── profile
+    │   ├── cache.read          (miss)
+    │   └── cache.store
+    └── detect
+        ├── detector:loop-classes
+        ├── detector:pipelines
+        └── ...
+
+Span ids are small per-tracer sequence numbers (deterministic for a
+deterministic code path — no randomness, which also keeps the analysis
+document replayable); start offsets are relative to the tracer's creation.
+Spans recorded during detection are attached to the result's
+``trace.spans`` and serialized by :mod:`repro.patterns.schema` as a
+tolerated extension block of the versioned analysis document.
+
+Instrumented modules do not thread a tracer through their signatures:
+:func:`activate` installs one on the current thread and the free function
+:func:`span` opens a child of it — or does nothing at all when no tracer
+is active, so library callers pay one thread-local read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.metrics import metrics_enabled
+
+
+@dataclass
+class Span:
+    """One timed operation: name, tree position, wall clock, attributes."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    #: seconds since the owning tracer was created (monotonic clock)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (JSON-scalar values) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+
+#: Shared do-nothing span yielded when tracing is inactive or disabled.
+class _NoopSpan:
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans; safe to use from several threads at once.
+
+    The open-span stack is thread-local (each thread nests independently)
+    while the finished list is shared, so a tracer can follow a job across
+    the claiming worker thread and any helpers it spawns.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+        self._spans: list[Span] = []
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _new_span(self, name: str, attrs: dict[str, Any]) -> Span:
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent,
+            start_s=round(time.perf_counter() - self._t0, 6),
+            attrs=attrs,
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span | _NoopSpan]:
+        """Open a child of the current thread's innermost span."""
+        if not metrics_enabled():
+            yield NOOP_SPAN
+            return
+        sp = self._new_span(name, dict(attrs))
+        stack = self._stack()
+        stack.append(sp)
+        t0 = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            sp.duration_s = round(time.perf_counter() - t0, 6)
+            stack.pop()
+            with self._lock:
+                self._spans.append(sp)
+
+    def record(self, name: str, duration_s: float, **attrs: Any) -> Span | _NoopSpan:
+        """Append an already-measured span (e.g. a job's queue wait, whose
+        start predates the tracer)."""
+        if not metrics_enabled():
+            return NOOP_SPAN
+        sp = self._new_span(name, dict(attrs))
+        sp.duration_s = round(duration_s, 6)
+        with self._lock:
+            self._spans.append(sp)
+        return sp
+
+    def finished(self) -> list[Span]:
+        """Snapshot of the spans closed so far, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+
+# -- thread-local active tracer ---------------------------------------------
+
+_active = threading.local()
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer installed on this thread, or None."""
+    stack = getattr(_active, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install *tracer* as this thread's current tracer for the block."""
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = []
+        _active.stack = stack
+    stack.append(tracer)
+    try:
+        yield tracer
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def ensure_tracer() -> Iterator[Tracer]:
+    """The current tracer, or a fresh one activated for the block."""
+    tracer = current_tracer()
+    if tracer is not None:
+        yield tracer
+        return
+    tracer = Tracer()
+    with activate(tracer):
+        yield tracer
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | _NoopSpan]:
+    """Open a span on the current tracer; a no-op when none is active.
+
+    This is the call sites' entry point: library code (cache reads, parse,
+    profile) is instrumented unconditionally and records nothing unless an
+    analysis or job has activated a tracer on this thread.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        yield NOOP_SPAN
+        return
+    with tracer.span(name, **attrs) as sp:
+        yield sp

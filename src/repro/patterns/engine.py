@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from repro.profiling.cache import ProfileCache
 
 from repro.lang.ast_nodes import Program
+from repro.obs.tracing import ensure_tracer
 from repro.patterns.framework import (
     MIN_PIPELINE_EFFICIENCY,
     MIN_SIGNIFICANT_TASKS,
@@ -78,24 +79,27 @@ def analyze(
     profile is already on disk, and a :class:`DetectorRegistry` to run a
     non-default detector pipeline.
     """
-    if cache is not None:
-        from repro.profiling.cache import cached_profile_runs
+    with ensure_tracer() as tracer:
+        with tracer.span("profile", cached=cache is not None, runs=len(arg_sets)):
+            if cache is not None:
+                from repro.profiling.cache import cached_profile_runs
 
-        profile, _ = cached_profile_runs(
-            program, entry, arg_sets,
-            record_calltree=record_calltree, max_cost=max_cost, cache=cache,
+                profile, _ = cached_profile_runs(
+                    program, entry, arg_sets,
+                    record_calltree=record_calltree, max_cost=max_cost, cache=cache,
+                )
+            else:
+                profile = profile_runs(
+                    program, entry, arg_sets,
+                    record_calltree=record_calltree, max_cost=max_cost,
+                )
+        return analyze_profile(
+            program,
+            profile,
+            hotspot_threshold=hotspot_threshold,
+            min_pairs=min_pairs,
+            registry=registry,
         )
-    else:
-        profile = profile_runs(
-            program, entry, arg_sets, record_calltree=record_calltree, max_cost=max_cost
-        )
-    return analyze_profile(
-        program,
-        profile,
-        hotspot_threshold=hotspot_threshold,
-        min_pairs=min_pairs,
-        registry=registry,
-    )
 
 
 def analyze_profile(

@@ -30,6 +30,8 @@ from typing import Callable, Iterator
 
 from repro.lang.analysis import is_recursive
 from repro.lang.ast_nodes import Program
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Span, ensure_tracer
 from repro.patterns.result import (
     FusionCandidate,
     GeometricDecomposition,
@@ -111,6 +113,10 @@ class AnalysisTrace:
 
     stages: list[StageTrace] = field(default_factory=list)
     evidence: list[Evidence] = field(default_factory=list)
+    #: hierarchical wall-clock spans (parse, profile, cache reads, one per
+    #: detector stage) from :mod:`repro.obs.tracing`; serialized as the
+    #: optional ``trace.spans`` extension block of the analysis document
+    spans: list[Span] = field(default_factory=list)
 
     def stage(self, detector: str) -> StageTrace | None:
         for st in self.stages:
@@ -570,21 +576,47 @@ def default_registry() -> DetectorRegistry:
 def run_detectors(
     ctx: AnalysisContext, registry: DetectorRegistry | None = None
 ) -> AnalysisResult:
-    """Run every registered detector over *ctx* and collect the trace."""
+    """Run every registered detector over *ctx* and collect the trace.
+
+    Each stage runs inside a span (child of a ``detect`` root span on the
+    thread's current tracer, if an outer layer — ``analyze``, the service
+    executor — installed one) and reports its wall clock into the
+    process-wide ``repro_detector_stage_seconds`` histogram, so per-stage
+    latency is observable both per analysis (``trace.spans``) and in
+    aggregate (``/v1/metrics``).
+    """
     if registry is None:
         registry = default_registry()
     result = AnalysisResult(
         program=ctx.program, profile=ctx.profile, hotspots=list(ctx.hotspots)
     )
+    metrics = get_registry()
+    stage_seconds = metrics.histogram(
+        "repro_detector_stage_seconds",
+        "Wall-clock seconds of one detector pipeline stage",
+        labelnames=("stage",),
+    )
     trace = AnalysisTrace()
-    for detector in registry.ordered():
-        stage = StageTrace(
-            detector=detector.name, stage=detector.stage or detector.name
-        )
-        t0 = time.perf_counter()
-        evidence = detector.run(ctx, result, stage) or []
-        stage.wall_time_s = time.perf_counter() - t0
-        trace.stages.append(stage)
-        trace.evidence.extend(evidence)
+    with ensure_tracer() as tracer:
+        with tracer.span("detect", hotspots=len(ctx.hotspots)):
+            for detector in registry.ordered():
+                stage = StageTrace(
+                    detector=detector.name, stage=detector.stage or detector.name
+                )
+                with tracer.span(f"detector:{detector.name}") as sp:
+                    t0 = time.perf_counter()
+                    evidence = detector.run(ctx, result, stage) or []
+                    stage.wall_time_s = time.perf_counter() - t0
+                    sp.set(evidence=len(evidence))
+                stage_seconds.labels(stage=stage.stage).observe(stage.wall_time_s)
+                trace.stages.append(stage)
+                trace.evidence.extend(evidence)
+        # Everything closed so far — outer parse/profile/cache spans plus the
+        # detect subtree; a still-open job-level root stays out of the
+        # analysis document by construction.
+        trace.spans = tracer.finished()
+    metrics.counter(
+        "repro_analyses_total", "Detector pipeline runs completed"
+    ).inc()
     result.trace = trace
     return result

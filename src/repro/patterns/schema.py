@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.cu.model import CU
 from repro.graphs.digraph import DiGraph
+from repro.obs.tracing import Span
 from repro.lang.parser import parse_program
 from repro.patterns.framework import (
     AnalysisResult,
@@ -290,10 +291,32 @@ def _evidence_from_dict(d: dict[str, Any]) -> Evidence:
     )
 
 
+def _span_to_dict(sp: Span) -> dict[str, Any]:
+    return {
+        "name": sp.name,
+        "span_id": sp.span_id,
+        "parent_id": sp.parent_id,
+        "start_s": sp.start_s,
+        "duration_s": sp.duration_s,
+        "attrs": [[k, sp.attrs[k]] for k in sorted(sp.attrs)],
+    }
+
+
+def _span_from_dict(d: dict[str, Any]) -> Span:
+    return Span(
+        name=d["name"],
+        span_id=d["span_id"],
+        parent_id=d["parent_id"],
+        start_s=d["start_s"],
+        duration_s=d["duration_s"],
+        attrs={k: v for k, v in d["attrs"]},
+    )
+
+
 def _trace_to_dict(trace: AnalysisTrace | None) -> dict[str, Any] | None:
     if trace is None:
         return None
-    return {
+    doc: dict[str, Any] = {
         "stages": [
             {
                 "detector": st.detector,
@@ -305,6 +328,12 @@ def _trace_to_dict(trace: AnalysisTrace | None) -> dict[str, Any] | None:
         ],
         "evidence": [_evidence_to_dict(ev) for ev in trace.evidence],
     }
+    # Tolerated extension (no version bump): the spans block appears only
+    # when the run collected spans, so documents written before this key
+    # existed and documents written with tracing disabled are identical.
+    if trace.spans:
+        doc["spans"] = [_span_to_dict(sp) for sp in trace.spans]
+    return doc
 
 
 def _trace_from_dict(d: dict[str, Any] | None) -> AnalysisTrace | None:
@@ -321,6 +350,7 @@ def _trace_from_dict(d: dict[str, Any] | None) -> AnalysisTrace | None:
             for st in d["stages"]
         ],
         evidence=[_evidence_from_dict(ev) for ev in d["evidence"]],
+        spans=[_span_from_dict(sp) for sp in d.get("spans", [])],
     )
 
 
@@ -457,16 +487,22 @@ def strip_trace_timings(doc: dict[str, Any]) -> dict[str, Any]:
     """Copy of an analysis document with trace wall-clock timings zeroed.
 
     Everything in the document is deterministic except the per-stage
-    ``wall_time_s`` measurements, so two runs of the same analysis agree
-    byte-for-byte on the canonical JSON of their stripped forms — the
-    identity the service's round-trip tests and ``analysis_digest`` callers
-    need (cf. the note on :func:`analysis_digest`).
+    ``wall_time_s`` measurements and the optional ``trace.spans`` block —
+    spans are wall-clock telemetry whose *structure* also varies with the
+    execution path (a warm-cache run has a ``cache.read`` span where a cold
+    run has the profiling work; a service run adds queue-wait).  Stripping
+    zeroes the stage timings and drops the spans block entirely, so two
+    runs of the same analysis agree byte-for-byte on the canonical JSON of
+    their stripped forms — the identity the service's round-trip tests and
+    ``analysis_digest`` callers need (cf. the note on
+    :func:`analysis_digest`).
     """
     doc = dict(doc)
     trace = doc.get("trace")
     if trace is not None:
         trace = dict(trace)
         trace["stages"] = [dict(st, wall_time_s=0.0) for st in trace["stages"]]
+        trace.pop("spans", None)
         doc["trace"] = trace
     return doc
 

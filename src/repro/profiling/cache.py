@@ -37,6 +37,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
@@ -44,6 +46,8 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.lang.ast_nodes import Program
+from repro.obs import tracing
+from repro.obs.metrics import get_registry
 from repro.profiling.model import Profile
 from repro.profiling.runner import profile_runs
 from repro.profiling.serialize import (
@@ -112,6 +116,10 @@ def profile_cache_key(
     return h.hexdigest()
 
 
+#: CacheStats counter names, in reporting order.
+_STAT_FIELDS = ("hits", "misses", "stores", "evictions", "read_errors", "store_errors")
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -126,30 +134,58 @@ class CacheStats:
     #: full disk); the computed profile is still returned to the caller.
     store_errors: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, int]:
+        # locks don't pickle; a CacheStats shipped across processes carries
+        # only its counters and grows a fresh lock on arrival
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        for name in _STAT_FIELDS:
+            setattr(self, name, state.get(name, 0))
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, delta: int = 1) -> None:
+        """Atomically increment one counter and mirror it into the global
+        metrics registry (``repro_profile_cache_<counter>_total``).
+
+        The cache object is shared across the service's executor worker
+        threads, so bare ``stats.hits += 1`` read-modify-writes can lose
+        updates; every internal increment goes through here.
+        """
+        if counter not in _STAT_FIELDS:
+            raise ValueError(f"unknown cache counter {counter!r}")
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + delta)
+        get_registry().counter(
+            f"repro_profile_cache_{counter}_total",
+            f"Profile cache {counter.replace('_', ' ')}",
+        ).inc(delta)
+
     def as_dict(self) -> dict[str, int]:
         """Point-in-time snapshot of every counter.
 
         The analysis service's ``/v1/stats`` endpoint reports this for its
         shared cache; callers get plain ints, so the snapshot stays stable
-        while the live counters keep moving.
+        while the live counters keep moving.  Taken under the lock, so a
+        snapshot never interleaves with a concurrent :meth:`bump`.
         """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "evictions": self.evictions,
-            "read_errors": self.read_errors,
-            "store_errors": self.store_errors,
-        }
+        with self._lock:
+            return {name: getattr(self, name) for name in _STAT_FIELDS}
 
     def merge(self, other: "CacheStats") -> None:
-        """Accumulate *other*'s counters (e.g. per-worker caches) into self."""
-        self.hits += other.hits
-        self.misses += other.misses
-        self.stores += other.stores
-        self.evictions += other.evictions
-        self.read_errors += other.read_errors
-        self.store_errors += other.store_errors
+        """Accumulate *other*'s counters (e.g. per-worker caches) into self.
+
+        Merged totals are bookkeeping only — they are not re-mirrored into
+        the metrics registry (a forked worker's registry lives in its own
+        process; double-counting in-process merges would skew the scrape).
+        """
+        snapshot = other.as_dict()
+        with self._lock:
+            for name, value in snapshot.items():
+                setattr(self, name, getattr(self, name) + value)
 
 
 @dataclass
@@ -175,47 +211,66 @@ class ProfileCache:
         broken cache from a cold one.
         """
         path = self.path_for(key)
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except OSError:
-            self.stats.read_errors += 1
-            self.stats.misses += 1
-            return None
-        try:
-            profile = profile_from_dict(json.loads(text))
-        except (ValueError, KeyError, TypeError, IndexError):
-            self.stats.evictions += 1
-            self.stats.misses += 1
+        t0 = time.perf_counter()
+        with tracing.span("cache.read", key=key[:12]) as sp:
             try:
-                path.unlink()
+                text = path.read_text()
+            except FileNotFoundError:
+                self.stats.bump("misses")
+                sp.set(outcome="miss")
+                self._observe("read", t0)
+                return None
             except OSError:
-                pass
-            return None
-        self.stats.hits += 1
-        return profile
+                self.stats.bump("read_errors")
+                self.stats.bump("misses")
+                sp.set(outcome="read_error")
+                self._observe("read", t0)
+                return None
+            try:
+                profile = profile_from_dict(json.loads(text))
+            except (ValueError, KeyError, TypeError, IndexError):
+                self.stats.bump("evictions")
+                self.stats.bump("misses")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                sp.set(outcome="evicted")
+                self._observe("read", t0)
+                return None
+            self.stats.bump("hits")
+            sp.set(outcome="hit")
+            self._observe("read", t0)
+            return profile
 
     def store(self, key: str, profile: Profile) -> Path:
         """Persist *profile* under *key* atomically; return its path."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(canonical_profile_json(profile))
-            os.replace(tmp, path)
-        except BaseException:
+        t0 = time.perf_counter()
+        with tracing.span("cache.store", key=key[:12]):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.stores += 1
-        return path
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(canonical_profile_json(profile))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stats.bump("stores")
+            self._observe("store", t0)
+            return path
+
+    def _observe(self, op: str, t0: float) -> None:
+        get_registry().histogram(
+            f"repro_cache_{op}_seconds",
+            f"Wall-clock seconds of one profile cache {op}",
+        ).observe(time.perf_counter() - t0)
 
 
 def cached_profile_runs(
@@ -252,5 +307,5 @@ def cached_profile_runs(
     try:
         cache.store(key, profile)
     except OSError:
-        cache.stats.store_errors += 1
+        cache.stats.bump("store_errors")
     return profile, False

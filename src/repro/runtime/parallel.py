@@ -47,7 +47,10 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.logs import JsonLogger
 
 #: Exception message length kept in failure records.
 _MESSAGE_LIMIT = 300
@@ -327,6 +330,7 @@ def run_one(
     backoff: float = 0.5,
     analyze_fn: Callable[[str, str | None], Any] = analyze_one,
     prior_attempts: int = 0,
+    log: "JsonLogger | None" = None,
 ) -> "BenchmarkOutcome | FailedOutcome | Any":
     """Submit-one-program entry point with the sweep's fault semantics.
 
@@ -337,6 +341,10 @@ def run_one(
     ``1 + retries`` attempts (counting *prior_attempts* already consumed,
     e.g. by a broken pool) the exhausted exception comes back as a
     structured :class:`FailedOutcome`.
+
+    *log* is an optional :class:`repro.obs.logs.JsonLogger` (typically
+    already bound to a job/correlation id by the caller); each retry and
+    the final failure emit a structured record through it.
     """
     attempts = prior_attempts
     while True:
@@ -345,9 +353,26 @@ def run_one(
             return call_with_timeout(analyze_fn, name, cache_dir, timeout)
         except Exception as exc:
             if attempts <= retries:
+                if log is not None:
+                    log.warning(
+                        "run.retry",
+                        name=name,
+                        attempt=attempts,
+                        error_type=type(exc).__name__,
+                        message=str(exc)[:_MESSAGE_LIMIT],
+                    )
                 time.sleep(_backoff_delay(backoff, attempts))
                 continue
-            return failure_record(name, exc, attempts)
+            record = failure_record(name, exc, attempts)
+            if log is not None:
+                log.error(
+                    "run.failed",
+                    name=name,
+                    attempts=attempts,
+                    error_type=record.error_type,
+                    message=record.message,
+                )
+            return record
 
 
 def _analyze_serial(

@@ -9,6 +9,11 @@
 Every method returns the decoded JSON document; HTTP error responses
 raise :class:`ServiceError` carrying the status code and the server's
 ``{"error": ...}`` payload.
+
+Each submission is stamped with a client-generated ``correlation_id``
+(:func:`repro.obs.logs.new_correlation_id`) unless the caller supplies
+one, so a submitter can log the id on its side and grep the daemon's
+structured log for the same job's every transition.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ import time
 import urllib.error
 import urllib.request
 from typing import Any, Iterable, Sequence
+
+from repro.obs.logs import new_correlation_id
 
 #: Environment override for the daemon address, honored by the CLI too.
 URL_ENV_VAR = "REPRO_SERVICE_URL"
@@ -75,6 +82,15 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """The daemon's ``/v1/metrics`` Prometheus text, verbatim."""
+        request = urllib.request.Request(self.url + "/v1/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc)) from None
+
     def wait_healthy(self, timeout: float = 10.0, poll: float = 0.1) -> dict:
         """Poll ``/v1/health`` until the daemon answers (startup races)."""
         deadline = time.monotonic() + timeout
@@ -112,17 +128,21 @@ class ServiceClient:
         }
         if threshold is not None:
             body["threshold"] = threshold
+        body.setdefault("correlation_id", new_correlation_id())
         return self._request("POST", "/v1/jobs", body)
 
     def submit_benchmark(self, name: str, **extra: Any) -> dict:
         """Submit one registered benchmark by name."""
-        return self._request("POST", "/v1/jobs", {"kind": "bench", "name": name, **extra})
+        body: dict[str, Any] = {"kind": "bench", "name": name, **extra}
+        body.setdefault("correlation_id", new_correlation_id())
+        return self._request("POST", "/v1/jobs", body)
 
     def submit_sweep(self, names: Sequence[str] | None = None, **extra: Any) -> dict:
         """Submit a registry sweep (all benchmarks when *names* is None)."""
         body: dict[str, Any] = {"kind": "sweep", **extra}
         if names is not None:
             body["names"] = list(names)
+        body.setdefault("correlation_id", new_correlation_id())
         return self._request("POST", "/v1/jobs", body)
 
     # -- job queries -----------------------------------------------------
@@ -141,7 +161,9 @@ class ServiceClient:
         return doc["jobs"]
 
     def cancel(self, job_id: int) -> dict:
-        """Cancel a queued job (raises :class:`ServiceError` 409 otherwise)."""
+        """Cancel a job: immediate while queued, cooperative while running
+        (the returned record then shows ``cancel_requested``).  Raises
+        :class:`ServiceError` 409 once the job is terminal."""
         return self._request("DELETE", f"/v1/jobs/{job_id}")
 
     def wait(self, job_id: int, timeout: float = 120.0, poll: float = 0.1) -> dict:

@@ -41,6 +41,8 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Tracer, activate
 from repro.profiling.cache import ProfileCache, default_cache_root
 from repro.profiling.hotspots import DEFAULT_THRESHOLD
 from repro.runtime.parallel import FailedOutcome, run_one
@@ -75,6 +77,22 @@ class AnalysisExecutor:
         #: high-water mark of concurrently running jobs — observable proof
         #: the worker bound held under saturation
         self.peak_busy = 0
+        # Pool gauges read live state at scrape time (set_function), so they
+        # can never go stale; the latest executor in the process wins the
+        # callback, matching the one-daemon-per-process deployment.
+        metrics = get_registry()
+        metrics.gauge(
+            "repro_pool_workers", "Size of the analysis worker pool"
+        ).set_function(lambda: self.workers)
+        metrics.gauge(
+            "repro_pool_busy", "Workers currently running a job"
+        ).set_function(lambda: self.busy)
+        metrics.gauge(
+            "repro_pool_peak_busy", "High-water mark of concurrently busy workers"
+        ).set_function(lambda: self.peak_busy)
+        metrics.gauge(
+            "repro_jobs_queue_depth", "Jobs queued and not yet claimed"
+        ).set_function(lambda: self.store.counts()["queue_depth"])
 
     # -- lifecycle ------------------------------------------------------
 
@@ -138,21 +156,36 @@ class AnalysisExecutor:
             # analyze_registry; the job-level wrapper only catches the sweep
             # machinery itself crashing.
             timeout, retries = None, 0
-        # run_one supplies the sweep's fault semantics: after 1 + retries
-        # attempts the exhausted exception comes back as a FailedOutcome
-        # instead of propagating into (and killing) this worker thread.
-        outcome = run_one(
-            f"job-{job.id}",
-            timeout=timeout,
-            retries=retries,
-            backoff=self.backoff,
-            analyze_fn=lambda _name, _cache_dir: runner(job.payload),
+        log = self.store.logger.bind(
+            job_id=job.id, correlation_id=job.correlation_id, kind=job.kind
         )
+        # One tracer per job, activated on this worker thread: every span the
+        # analysis path opens below (parse, cache reads, detector stages)
+        # joins this job's tree, and the queue wait — measured by the store's
+        # timestamps, predating the tracer — is recorded into the same tree.
+        tracer = Tracer()
+        queue_wait_s = max(0.0, (job.started_at or 0.0) - job.submitted_at)
+        tracer.record("job.queue_wait", queue_wait_s)
+        with activate(tracer):
+            with tracer.span("job.run", kind=job.kind):
+                # run_one supplies the sweep's fault semantics: after
+                # 1 + retries attempts the exhausted exception comes back as
+                # a FailedOutcome instead of propagating into (and killing)
+                # this worker thread.
+                outcome = run_one(
+                    f"job-{job.id}",
+                    timeout=timeout,
+                    retries=retries,
+                    backoff=self.backoff,
+                    analyze_fn=lambda _name, _cache_dir: runner(job.payload),
+                    log=log,
+                )
+        telemetry = {"queue_wait_s": round(queue_wait_s, 6)}
         if isinstance(outcome, FailedOutcome):
-            self.store.fail(job.id, outcome.to_dict())
+            self.store.fail(job.id, outcome.to_dict(), info=telemetry)
         else:
             result, info = outcome
-            self.store.finish(job.id, result, info)
+            self.store.finish(job.id, result, {**info, **telemetry})
 
     # -- job runners (each returns (result_document, info)) -------------
 

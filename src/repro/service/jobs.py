@@ -8,9 +8,13 @@ monotonically increasing id and walks the lifecycle::
     queued -> cancelled
 
 State transitions happen under one lock, so a cancel can never race a
-worker's claim: ``DELETE /v1/jobs/<id>`` succeeds only while the job is
-still queued, and :meth:`JobStore.claim` skips entries cancelled while
-waiting in the queue.
+worker's claim: a queued job cancels immediately, and
+:meth:`JobStore.claim` skips entries cancelled while waiting in the queue.
+A *running* job is cancelled cooperatively — MiniC interpretation holds no
+cancellation points, so ``DELETE /v1/jobs/<id>`` marks the job
+``cancel_requested`` and the worker's completion is recorded as
+``cancelled`` (its result document discarded) instead of ``done`` or
+``failed``.  Only already-terminal jobs refuse cancellation.
 
 Job records serialize through the versioned envelope of
 :func:`repro.patterns.schema.job_record`; a failed job's ``error`` field is
@@ -18,15 +22,22 @@ the :class:`~repro.runtime.parallel.FailedOutcome` document with its
 ``"failed": true`` marker, so service consumers reuse the sweep's failure
 decoding unchanged.  History is bounded — terminal jobs beyond
 ``max_history`` are evicted oldest-first (queued and running jobs are never
-evicted) — and optionally every transition is appended to a JSONL file, one
-envelope per line, giving the daemon a crash-durable audit trail.
+evicted).
+
+Telemetry: every transition emits a structured ``job.transition`` record
+through a :class:`repro.obs.logs.JsonLogger` (the ``jsonl_path``
+constructor argument keeps its crash-durable audit-trail role, now as the
+logger's sink), each record carrying the job's ``correlation_id``; and the
+store maintains the daemon's job metrics —
+``repro_jobs_{submitted,completed,failed,cancelled}_total`` counters plus
+the ``repro_job_queue_wait_seconds`` and ``repro_job_run_seconds{kind=}``
+histograms — in the process-wide registry scraped at ``/v1/metrics``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import itertools
-import json
 import threading
 import time
 from collections import deque
@@ -35,6 +46,8 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.logs import JsonLogger, new_correlation_id
+from repro.obs.metrics import get_registry
 from repro.patterns.schema import JOB_STATES, job_record
 
 #: Job kinds the executor knows how to run.
@@ -104,6 +117,13 @@ class Job:
     #: side-channel facts that must not perturb the result document
     #: (e.g. ``profile_cache_hit``)
     info: dict[str, Any] = field(default_factory=dict)
+    #: opaque id correlating this job's log records across every layer
+    #: (client submission -> store transitions -> worker -> run_one);
+    #: client-generated when provided, otherwise minted at submit time
+    correlation_id: str = ""
+    #: set when a cancel arrived while the job was already running; the
+    #: worker's completion is then recorded as ``cancelled``
+    cancel_requested: bool = False
 
     def to_dict(self, include_result: bool = True) -> dict[str, Any]:
         """The versioned job-record envelope for this job.
@@ -121,6 +141,8 @@ class Job:
             "finished_at": self.finished_at,
             "error": self.error,
             "info": dict(self.info),
+            "correlation_id": self.correlation_id,
+            "cancel_requested": self.cancel_requested,
         }
         if include_result:
             doc["result"] = self.result
@@ -134,9 +156,13 @@ class JobStore:
         self,
         max_history: int = 256,
         jsonl_path: str | None = None,
+        logger: JsonLogger | None = None,
     ) -> None:
         self.max_history = max(1, max_history)
         self.jsonl_path = jsonl_path
+        if logger is None:
+            logger = JsonLogger(path=jsonl_path) if jsonl_path else JsonLogger()
+        self._log = logger
         self._cond = threading.Condition()
         self._jobs: dict[int, Job] = {}
         self._queue: deque[int] = deque()
@@ -145,23 +171,70 @@ class JobStore:
         self._closed = False
         self.submitted = 0
         self.evicted = 0
-        #: JSONL appends that failed (disk full, unwritable path); the
-        #: in-memory store keeps working — persistence is best-effort.
-        self.persist_errors = 0
+        metrics = get_registry()
+        self._submitted_total = metrics.counter(
+            "repro_jobs_submitted_total", "Jobs accepted into the queue"
+        )
+        self._completed_total = metrics.counter(
+            "repro_jobs_completed_total", "Jobs finished in the done state"
+        )
+        self._failed_total = metrics.counter(
+            "repro_jobs_failed_total", "Jobs finished in the failed state"
+        )
+        self._cancelled_total = metrics.counter(
+            "repro_jobs_cancelled_total",
+            "Jobs cancelled (while queued or cooperatively while running)",
+        )
+        self._queue_wait_seconds = metrics.histogram(
+            "repro_job_queue_wait_seconds",
+            "Seconds a job waited in the queue before a worker claimed it",
+        )
+        self._run_seconds = metrics.histogram(
+            "repro_job_run_seconds",
+            "Seconds a worker spent running a claimed job",
+            labelnames=("kind",),
+        )
+
+    @property
+    def persist_errors(self) -> int:
+        """Transition-log appends that failed (disk full, unwritable path);
+        the in-memory store keeps working — persistence is best-effort."""
+        return self._log.errors
+
+    @property
+    def logger(self) -> JsonLogger:
+        """The store's structured transition logger (shared sink)."""
+        return self._log
 
     # -- submission / claiming ------------------------------------------
 
-    def submit(self, kind: str, payload: dict[str, Any]) -> Job:
-        """Enqueue a new job; returns it in the ``queued`` state."""
+    def submit(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        correlation_id: str | None = None,
+    ) -> Job:
+        """Enqueue a new job; returns it in the ``queued`` state.
+
+        *correlation_id* is normally minted by the submitting client so the
+        caller can grep its own logs for the same id; one is generated here
+        when absent so every job is correlatable.
+        """
         if kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {kind!r}")
         with self._cond:
             if self._closed:
                 raise RuntimeError("job store is closed")
-            job = Job(id=next(self._ids), kind=kind, payload=dict(payload))
+            job = Job(
+                id=next(self._ids),
+                kind=kind,
+                payload=dict(payload),
+                correlation_id=correlation_id or new_correlation_id(),
+            )
             self._jobs[job.id] = job
             self._queue.append(job.id)
             self.submitted += 1
+            self._submitted_total.inc()
             self._persist(job)
             self._cond.notify()
         return job
@@ -182,6 +255,9 @@ class JobStore:
                         continue
                     job.state = "running"
                     job.started_at = time.time()
+                    self._queue_wait_seconds.observe(
+                        max(0.0, job.started_at - job.submitted_at)
+                    )
                     self._persist(job)
                     return job
                 if self._closed:
@@ -208,22 +284,32 @@ class JobStore:
         return self._complete(job_id, "failed", error=error, info=info)
 
     def cancel(self, job_id: int) -> Job:
-        """Cancel a *queued* job.
+        """Cancel a job that has not finished yet.
 
-        Raises :class:`KeyError` for an unknown id and :class:`ValueError`
-        once the job is running or terminal — in-flight analyses are not
-        interrupted (MiniC interpretation holds no cancellation points).
+        A *queued* job becomes ``cancelled`` immediately.  A *running* job
+        is cancelled cooperatively: MiniC interpretation holds no
+        cancellation points, so the job is marked ``cancel_requested`` (its
+        state stays ``running``) and the worker's eventual completion is
+        recorded as ``cancelled`` with the result discarded.  Raises
+        :class:`KeyError` for an unknown id and :class:`ValueError` for a
+        job already in a terminal state.
         """
         with self._cond:
             job = self._jobs.get(job_id)
             if job is None:
                 raise KeyError(f"no job {job_id}")
-            if job.state != "queued":
-                raise ValueError(f"job {job_id} is {job.state}, not queued")
-            job.state = "cancelled"
-            job.finished_at = time.time()
-            self._retire(job)
-            return job
+            if job.state == "queued":
+                job.state = "cancelled"
+                job.finished_at = time.time()
+                self._cancelled_total.inc()
+                self._retire(job)
+                return job
+            if job.state == "running":
+                if not job.cancel_requested:
+                    job.cancel_requested = True
+                    self._persist(job, event="job.cancel_requested")
+                return job
+            raise ValueError(f"job {job_id} is {job.state}, already terminal")
 
     def _complete(
         self,
@@ -239,12 +325,27 @@ class JobStore:
                 raise KeyError(f"no job {job_id}")
             if job.state != "running":
                 raise ValueError(f"job {job_id} is {job.state}, not running")
-            job.state = state
-            job.result = result
-            job.error = error
+            job.finished_at = time.time()
+            if job.started_at is not None:
+                self._run_seconds.labels(kind=job.kind).observe(
+                    max(0.0, job.finished_at - job.started_at)
+                )
+            if job.cancel_requested:
+                # the run completed, but a cancel arrived mid-flight: the
+                # outcome the caller no longer wants is discarded, only what
+                # it *was* is kept for the record
+                job.state = "cancelled"
+                job.result = None
+                job.error = None
+                job.info["completed_as"] = state
+                self._cancelled_total.inc()
+            else:
+                job.state = state
+                job.result = result
+                job.error = error
+                (self._completed_total if state == "done" else self._failed_total).inc()
             if info:
                 job.info.update(info)
-            job.finished_at = time.time()
             self._retire(job)
             return job
 
@@ -291,12 +392,21 @@ class JobStore:
 
     # -- persistence ----------------------------------------------------
 
-    def _persist(self, job: Job) -> None:
-        """Append *job*'s current record to the JSONL log, best-effort."""
-        if self.jsonl_path is None:
+    def _persist(self, job: Job, event: str = "job.transition") -> None:
+        """Emit *job*'s current record as a structured log line, best-effort.
+
+        Each line is one JSON object: timestamp, level, *event*, the job's
+        correlation id, and the full versioned job-record envelope under
+        ``record`` (result document excluded — results can be megabytes and
+        are fetchable from the store).  A null-sink logger makes this free.
+        """
+        if not self._log.active:
             return
-        try:
-            with open(self.jsonl_path, "a") as fh:
-                fh.write(json.dumps(job.to_dict(), sort_keys=True) + "\n")
-        except OSError:
-            self.persist_errors += 1
+        self._log.info(
+            event,
+            job_id=job.id,
+            correlation_id=job.correlation_id,
+            state=job.state,
+            kind=job.kind,
+            record=job.to_dict(include_result=False),
+        )

@@ -15,11 +15,15 @@ Endpoints (all JSON):
 ``GET /v1/jobs``      list retained jobs (``?state=``, ``?kind=`` filters);
                       summaries only — results are fetched per job
 ``GET /v1/jobs/<id>``     full job record: status, timestamps, result/error
-``DELETE /v1/jobs/<id>``  cancel a *queued* job (409 once running/terminal)
+``DELETE /v1/jobs/<id>``  cancel a job: queued jobs cancel immediately,
+                          running jobs cooperatively (``cancel_requested``
+                          until the worker finishes); 409 once terminal
 ``GET /v1/health``    liveness + uptime
 ``GET /v1/stats``     queue depth, per-state tallies, worker utilization,
                       and the shared profile cache's counters
 ``GET /v1/version``   ``repro.__version__`` + analysis schema version
+``GET /v1/metrics``   Prometheus text exposition of the process registry
+                      (**not** JSON — scrape it, or ``repro metrics``)
 ====================  ======================================================
 
 Error responses are ``{"error": <message>}`` with the usual status codes
@@ -36,6 +40,7 @@ from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
+from repro.obs.metrics import get_registry
 from repro.patterns.schema import SCHEMA_VERSION
 from repro.profiling.cache import ProfileCache
 from repro.service.executor import AnalysisExecutor
@@ -137,8 +142,13 @@ class AnalysisService:
             names = {spec.name for spec in all_benchmarks()}
             if body.get("name") not in names:
                 raise ValueError(f"unknown benchmark {body.get('name')!r}")
-        payload = {k: v for k, v in body.items() if k != "kind"}
-        job = self.store.submit(kind, payload)
+        correlation_id = body.get("correlation_id")
+        if correlation_id is not None and not isinstance(correlation_id, str):
+            raise ValueError("'correlation_id' must be a string")
+        payload = {
+            k: v for k, v in body.items() if k not in ("kind", "correlation_id")
+        }
+        job = self.store.submit(kind, payload, correlation_id=correlation_id)
         return job.to_dict(include_result=False)
 
     def stats(self) -> dict[str, Any]:
@@ -174,6 +184,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _error(self, status: int, message: str) -> None:
         self._send(status, {"error": message})
 
@@ -196,6 +214,8 @@ class _Handler(BaseHTTPRequestHandler):
             })
         elif path == "/v1/stats":
             self._send(200, self.service.stats())
+        elif path == "/v1/metrics":
+            self._send_text(200, get_registry().render())
         elif path == "/v1/jobs":
             query = parse_qs(url.query)
             jobs = self.service.store.list_jobs(

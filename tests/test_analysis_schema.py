@@ -19,6 +19,7 @@ from repro.patterns.schema import (
     analysis_to_dict,
     analysis_to_json,
     canonical_analysis_json,
+    strip_trace_timings,
 )
 from repro.runtime.parallel import BenchmarkOutcome
 
@@ -97,6 +98,48 @@ class TestRoundTrip:
         assert restored.loop_classes.keys() == pipeline_result.loop_classes.keys()
         for region, lc in restored.loop_classes.items():
             assert lc.classification is pipeline_result.loop_classes[region].classification
+
+
+class TestSpansExtension:
+    """``trace.spans`` is a tolerated extension block of schema v1: present
+    when the analysis was traced, absent otherwise, never version-gated."""
+
+    def test_analysis_records_detection_spans(self, reduction_result):
+        names = {sp.name for sp in reduction_result.trace.spans}
+        assert "detect" in names
+        assert any(n.startswith("detector:") for n in names)
+
+    def test_spans_round_trip_with_hierarchy(self, reduction_result):
+        doc = analysis_to_dict(reduction_result)
+        assert doc["trace"]["spans"]  # emitted because non-empty
+        restored = analysis_from_dict(doc)
+        want = reduction_result.trace.spans
+        got = restored.trace.spans
+        assert [(sp.name, sp.span_id, sp.parent_id) for sp in got] == [
+            (sp.name, sp.span_id, sp.parent_id) for sp in want
+        ]
+        assert [sp.attrs for sp in got] == [sp.attrs for sp in want]
+        assert [sp.duration_s for sp in got] == [sp.duration_s for sp in want]
+
+    def test_detector_spans_parent_under_detect(self, reduction_result):
+        spans = reduction_result.trace.spans
+        detect = next(sp for sp in spans if sp.name == "detect")
+        for sp in spans:
+            if sp.name.startswith("detector:"):
+                assert sp.parent_id == detect.span_id
+
+    def test_spans_key_absent_when_untraced(self, reduction_result):
+        doc = analysis_to_dict(reduction_result)
+        doc["trace"].pop("spans")
+        restored = analysis_from_dict(doc)  # pre-extension docs still load
+        assert restored.trace.spans == []
+        assert "spans" not in analysis_to_dict(restored)["trace"]
+
+    def test_strip_trace_timings_drops_spans(self, reduction_result):
+        doc = analysis_to_dict(reduction_result)
+        stripped = strip_trace_timings(doc)
+        assert "spans" not in stripped["trace"]
+        assert doc["trace"]["spans"]  # original untouched
 
 
 class TestVersioning:

@@ -1,4 +1,5 @@
-"""Generative end-to-end property: classification agrees with execution.
+"""Generative end-to-end properties: classification agrees with execution,
+and is invariant under semantics-preserving transforms.
 
 Random single-loop array programs are generated (element updates, scalar
 accumulations, recurrences, gathers).  For each, the detector classifies
@@ -9,12 +10,21 @@ the loop; the classification is then *checked against reality*:
   reassociation with exact integer data,
 * every loop must classify without crashing, whatever the body.
 
-This is the strongest guarantee the suite makes: the static labels the
-tool hands a programmer never contradict observable program behaviour on
-the profiled input.
+A second, metamorphic family locks the detector against *representation*
+sensitivity: three transforms that provably preserve semantics —
+consistent variable renaming, dead-statement insertion, and permutation
+of loop-body statements with no mutual dependence — must leave the
+detected pattern set unchanged.  Each transform is double-checked by
+interpreting both variants on the same inputs, so a failing assertion
+always means the detector (not the transform) diverged; the assertion
+message prints both MiniC sources as a ready-to-run reproducer.
 """
 
+import random
+import re
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -22,6 +32,7 @@ from repro.lang.parser import parse_program
 from repro.lang.validate import validate_program
 from repro.patterns.doall import classify_loop
 from repro.profiling import profile_run
+from repro.runtime import Interpreter
 from repro.runtime.replay import ReplayError, validate_doall
 
 # statement templates over arrays A (input), B (output), scalar s, index i
@@ -107,3 +118,185 @@ class TestClassificationAgreesWithExecution:
         # arrays other than the accumulator must match exactly; the return
         # value (the reduction) must match because the data is integral
         assert results_equal(serial, shuffled, atol=0), source
+
+
+# ---------------------------------------------------------------------------
+# metamorphic invariance: semantics-preserving transforms keep the patterns
+# ---------------------------------------------------------------------------
+
+#: The statement pool of ``_BODY_STMTS``, annotated with the conservative
+#: (reads, writes) variable sets used for the permutation transform.
+#: Granularity is whole-array — ``B[i]`` and ``B[n-1-i]`` both count as
+#: ``B`` — so any permutation this table allows is independent under every
+#: finer-grained analysis too.
+_ANNOTATED_STMTS = (
+    ("B[i] = A[i] * 2;", {"A"}, {"B"}),
+    ("B[i] = A[i] + A[n - 1 - i];", {"A"}, {"B"}),
+    ("B[i] = B[i] + A[i];", {"A", "B"}, {"B"}),
+    ("s += A[i];", {"A", "s"}, {"s"}),
+    ("s = s + B[i];", {"s", "B"}, {"s"}),
+    ("B[i] = B[i] + s;", {"B", "s"}, {"B"}),
+    ("B[i] = i * 3;", set(), {"B"}),
+    ("int t{k} = A[i] * 2; B[i] = t{k} + 1;", {"A"}, {"B"}),
+    ("B[n - 1 - i] = A[i];", {"A"}, {"B"}),
+)
+
+#: Renaming applied to every identifier the generated programs use.  The
+#: targets collide with nothing in the templates (checked by parsing), so
+#: a single simultaneous regex pass is a sound alpha-conversion.
+_RENAME = {"A": "arr_p", "B": "arr_q", "s": "acc", "n": "count", "i": "idx"}
+
+
+def _rename_source(source):
+    """Alpha-convert *source* under ``_RENAME`` (plus ``t<k>`` -> ``u<k>``)."""
+    pattern = re.compile(
+        r"\b(" + "|".join(_RENAME) + r")\b" + r"|\bt(\d+)\b"
+    )
+
+    def sub(m):
+        if m.group(2) is not None:
+            return f"u{m.group(2)}"
+        return _RENAME[m.group(1)]
+
+    return pattern.sub(sub, source)
+
+
+def _independent(s1, s2):
+    """No dependence in either direction between two annotated statements."""
+    _, r1, w1 = s1
+    _, r2, w2 = s2
+    return not (w1 & (r2 | w2)) and not (w2 & (r1 | w1))
+
+
+def _assemble(stmts):
+    body_text = "\n        ".join(text for text, _, _ in stmts)
+    return f"""\
+int f(int A[], int B[], int n) {{
+    int s = 0;
+    for (int i = 0; i < n; i++) {{
+        {body_text}
+    }}
+    return s;
+}}
+"""
+
+
+def _random_stmts(rng, max_stmts=4):
+    picks = [rng.randrange(len(_ANNOTATED_STMTS)) for _ in range(rng.randint(1, max_stmts))]
+    return [
+        (_ANNOTATED_STMTS[p][0].format(k=k),) + _ANNOTATED_STMTS[p][1:]
+        for k, p in enumerate(picks)
+    ]
+
+
+def _pattern_signature(source, entry="f", unrename=False):
+    """The detected pattern set of *source*'s loop, normalized for
+    comparison across transforms: classification label, blocking and
+    privatizable variable sets, and (var, operator) reduction pairs —
+    everything position- and line-independent."""
+    program, profile, loop, args = _setup_entry(source, entry)
+    lc = classify_loop(program, profile, loop)
+    back = {v: k for k, v in _RENAME.items()} if unrename else {}
+    back_re = re.compile(r"^u(\d+)$")
+
+    def norm(name):
+        if unrename and back_re.match(name):
+            return "t" + back_re.match(name).group(1)
+        return back.get(name, name)
+
+    # ``dead<k>`` locals are introduced *by* the dead-statement transform
+    # and are privatizable by construction; they are excluded so the
+    # signature compares only the base program's variables.
+    return {
+        "classification": lc.classification.value,
+        "blocking": frozenset(norm(v) for v in lc.blocking_vars),
+        "privatizable": frozenset(
+            norm(v) for v in lc.privatizable if not re.match(r"^dead\d+$", v)
+        ),
+        "reductions": frozenset((norm(c.var), c.operator) for c in lc.reductions),
+    }
+
+
+def _setup_entry(source, entry):
+    program = parse_program(source)
+    validate_program(program)
+    n = 12
+    args = [np.arange(1, n + 1, dtype=np.int64), np.zeros(n, dtype=np.int64), n]
+    profile, _ = profile_run(program, entry, args)
+    loop = next(r.region_id for r in program.regions.values() if r.kind == "loop")
+    return program, profile, loop, args
+
+
+def _run_outputs(source, entry="f"):
+    """(return value, array arguments after the run) for fresh inputs."""
+    program = parse_program(source)
+    validate_program(program)
+    n = 12
+    a = np.arange(1, n + 1, dtype=np.int64)
+    b = np.zeros(n, dtype=np.int64)
+    result = Interpreter(program).run(entry, [a, b, n])
+    return result.value, [a, b]
+
+
+def _assert_equivalent_and_invariant(base, variant, transform):
+    """The metamorphic core: *variant* must compute the same thing as
+    *base* (interpreter check — validates the transform) and detect the
+    same pattern set (the property under test)."""
+    reproducer = (
+        f"\n--- base program ---\n{base}\n--- {transform} variant ---\n{variant}"
+    )
+    base_value, base_arrays = _run_outputs(base)
+    var_value, var_arrays = _run_outputs(variant)
+    assert base_value == var_value, f"transform changed semantics{reproducer}"
+    for x, y in zip(base_arrays, var_arrays):
+        assert np.array_equal(x, y), f"transform changed semantics{reproducer}"
+
+    base_sig = _pattern_signature(base)
+    var_sig = _pattern_signature(variant, unrename=(transform == "renaming"))
+    assert base_sig == var_sig, (
+        f"detected pattern set changed under {transform}:\n"
+        f"  base    {base_sig}\n  variant {var_sig}{reproducer}"
+    )
+
+
+class TestMetamorphicInvariance:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_variable_renaming_preserves_patterns(self, seed):
+        rng = random.Random(seed)
+        base = _assemble(_random_stmts(rng))
+        variant = _rename_source(base)
+        _assert_equivalent_and_invariant(base, variant, "renaming")
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_dead_statement_insertion_preserves_patterns(self, seed):
+        rng = random.Random(seed)
+        stmts = _random_stmts(rng)
+        dead = [
+            (f"int dead{j} = {rng.randint(1, 9)} * 3;", set(), set())
+            for j in range(rng.randint(1, 3))
+        ]
+        mixed = list(stmts)
+        for d in dead:  # dead statements land at random body positions
+            mixed.insert(rng.randint(0, len(mixed)), d)
+        _assert_equivalent_and_invariant(
+            _assemble(stmts), _assemble(mixed), "dead-statement insertion"
+        )
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_independent_permutation_preserves_patterns(self, seed):
+        rng = random.Random(seed)
+        stmts = _random_stmts(rng)
+        if not all(
+            _independent(s1, s2)
+            for a_i, s1 in enumerate(stmts)
+            for s2 in stmts[a_i + 1:]
+        ):
+            pytest.skip("generated body has a dependence; permutation unsound")
+        if len(stmts) < 2:
+            pytest.skip("single-statement body has no permutations")
+        permuted = list(stmts)
+        while permuted == stmts:
+            rng.shuffle(permuted)
+        _assert_equivalent_and_invariant(
+            _assemble(stmts), _assemble(permuted), "statement permutation"
+        )

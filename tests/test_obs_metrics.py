@@ -1,0 +1,207 @@
+"""Metrics registry: instrument semantics, exposition format, thread
+safety, and the process-wide disable switch the overhead benchmark uses."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_enabled,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("x_total", "help text")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("x_total").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("x_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+
+class TestGauges:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6
+
+    def test_function_gauge_reads_live_state(self, registry):
+        state = {"busy": 0}
+        g = registry.gauge("busy")
+        g.set_function(lambda: state["busy"])
+        state["busy"] = 3
+        assert g.value == 3
+
+    def test_function_gauge_failure_renders_nan(self, registry):
+        g = registry.gauge("broken")
+        g.set_function(lambda: 1 / 0)
+        assert g.value != g.value  # NaN
+
+    def test_set_clears_callback(self, registry):
+        g = registry.gauge("g")
+        g.set_function(lambda: 99)
+        g.set(1)
+        assert g.value == 1
+
+
+class TestHistograms:
+    def test_observe_updates_sum_and_count(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+
+    def test_buckets_are_cumulative(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.bucket_counts() == [(0.1, 1), (1.0, 2), (float("inf"), 3)]
+
+    def test_exposition_bucket_lines(self, registry):
+        h = registry.histogram("lat_seconds", "latency", buckets=(0.1,))
+        h.observe(0.05)
+        text = registry.render()
+        assert "# HELP lat_seconds latency" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_empty_bucket_list_rejected(self, registry):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            registry.histogram("h", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestLabelledFamilies:
+    def test_children_keyed_by_label_values(self, registry):
+        fam = registry.counter("runs_total", labelnames=("kind",))
+        fam.labels(kind="source").inc()
+        fam.labels(kind="source").inc()
+        fam.labels(kind="bench").inc()
+        assert fam.labels(kind="source").value == 2
+        assert fam.labels(kind="bench").value == 1
+
+    def test_wrong_label_set_rejected(self, registry):
+        fam = registry.counter("runs_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            fam.labels(flavor="x")
+
+    def test_label_values_escaped_in_exposition(self, registry):
+        fam = registry.counter("runs_total", labelnames=("kind",))
+        fam.labels(kind='we"ird\nname').inc()
+        line = [
+            ln for ln in registry.render().splitlines() if ln.startswith("runs_total{")
+        ][0]
+        assert line == 'runs_total{kind="we\\"ird\\nname"} 1'
+
+    def test_children_render_sorted(self, registry):
+        fam = registry.gauge("g", labelnames=("k",))
+        fam.labels(k="b").set(2)
+        fam.labels(k="a").set(1)
+        lines = [ln for ln in registry.render().splitlines() if ln.startswith("g{")]
+        assert lines == ['g{k="a"} 1', 'g{k="b"} 2']
+
+
+class TestRendering:
+    def test_metrics_render_in_name_order_with_type_lines(self, registry):
+        registry.counter("b_total")
+        registry.gauge("a_value")
+        text = registry.render()
+        assert text.index("# TYPE a_value gauge") < text.index("# TYPE b_total counter")
+        assert text.endswith("\n")
+
+    def test_integer_samples_have_no_decimal_point(self, registry):
+        registry.counter("n_total").inc(2)
+        assert "n_total 2" in registry.render().splitlines()
+
+
+class TestDisableSwitch:
+    def test_disabled_instruments_are_noops(self, registry):
+        c = registry.counter("c_total")
+        g = registry.gauge("g")
+        h = registry.histogram("h_seconds")
+        prev = set_enabled(False)
+        try:
+            assert prev is True and metrics_enabled() is False
+            c.inc()
+            g.set(9)
+            h.observe(1.0)
+        finally:
+            set_enabled(True)
+        assert c.value == 0 and g.value == 0 and h.count == 0
+
+    def test_reenabling_resumes_collection(self, registry):
+        c = registry.counter("c_total")
+        set_enabled(False)
+        set_enabled(True)
+        c.inc()
+        assert c.value == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self, registry):
+        c = registry.counter("c_total")
+        h = registry.histogram("h_seconds", buckets=(1.0,))
+
+        def hammer():
+            for _ in range(400):
+                c.inc()
+                h.observe(0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 3200
+        assert h.count == 3200
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

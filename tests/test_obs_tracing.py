@@ -1,0 +1,159 @@
+"""Span tracing: tree structure, thread-local activation, no-op paths."""
+
+import threading
+
+from repro.obs.metrics import set_enabled
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Tracer,
+    activate,
+    current_tracer,
+    ensure_tracer,
+    span,
+)
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("job.run") as outer:
+            with tracer.span("parse") as inner:
+                pass
+        spans = {sp.name: sp for sp in tracer.finished()}
+        assert spans["parse"].parent_id == outer.span_id
+        assert spans["job.run"].parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_ids_are_sequential_and_deterministic(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [sp.span_id for sp in tracer.finished()] == [1, 2]
+
+    def test_finished_is_completion_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [sp.name for sp in tracer.finished()] == ["inner", "outer"]
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [sp.name for sp in tracer.finished()] == ["boom"]
+        # the stack unwound: the next span is a root again
+        with tracer.span("after"):
+            pass
+        assert tracer.finished()[-1].parent_id is None
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("cache.read", key="abc") as sp:
+            sp.set(outcome="hit")
+        done = tracer.finished()[0]
+        assert done.attrs == {"key": "abc", "outcome": "hit"}
+
+    def test_record_appends_premeasured_span(self):
+        tracer = Tracer()
+        sp = tracer.record("job.queue_wait", 0.25, kind="source")
+        assert sp.duration_s == 0.25
+        assert tracer.finished() == [sp]
+
+    def test_durations_are_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.finished()[0].duration_s >= 0.0
+
+
+class TestThreadLocalActivation:
+    def test_free_span_is_noop_without_tracer(self):
+        assert current_tracer() is None
+        with span("orphan") as sp:
+            assert sp is NOOP_SPAN
+            assert sp.set(k=1) is sp  # chainable no-op
+
+    def test_free_span_reaches_active_tracer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+            with span("reached"):
+                pass
+        assert current_tracer() is None
+        assert [sp.name for sp in tracer.finished()] == ["reached"]
+
+    def test_activation_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with activate(outer):
+            with activate(inner):
+                with span("deep"):
+                    pass
+            assert current_tracer() is outer
+        assert [sp.name for sp in inner.finished()] == ["deep"]
+        assert outer.finished() == []
+
+    def test_ensure_tracer_reuses_active(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with ensure_tracer() as got:
+                assert got is tracer
+
+    def test_ensure_tracer_creates_and_activates(self):
+        with ensure_tracer() as tracer:
+            assert current_tracer() is tracer
+            with span("inside"):
+                pass
+        assert current_tracer() is None
+        assert [sp.name for sp in tracer.finished()] == ["inside"]
+
+    def test_activation_is_per_thread(self):
+        tracer = Tracer()
+        seen = []
+
+        def other_thread():
+            seen.append(current_tracer())
+            with span("elsewhere") as sp:
+                seen.append(sp is NOOP_SPAN)
+
+        with activate(tracer):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen == [None, True]
+
+    def test_threads_nest_independently_on_shared_tracer(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5.0)
+
+        threads = [threading.Thread(target=worker, args=(f"w{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.finished()
+        # both roots: neither thread saw the other's open span as a parent
+        assert {sp.parent_id for sp in spans} == {None}
+        assert {sp.span_id for sp in spans} == {1, 2}
+
+
+class TestDisabledTracing:
+    def test_disabled_spans_record_nothing(self):
+        tracer = Tracer()
+        prev = set_enabled(False)
+        try:
+            with tracer.span("invisible") as sp:
+                assert sp is NOOP_SPAN
+            assert tracer.record("also.invisible", 1.0) is NOOP_SPAN
+        finally:
+            set_enabled(prev)
+        assert tracer.finished() == []

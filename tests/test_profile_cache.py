@@ -214,3 +214,65 @@ class TestDeterminism:
         key = profile_cache_key(program.source, "total", args)
         stored = cache.path_for(key).read_text()
         assert stored == canonical_profile_json(profile)
+
+
+class TestStatsConcurrency:
+    """CacheStats.bump is the only mutation path and must be atomic."""
+
+    def test_concurrent_bumps_lose_no_increments(self):
+        import threading
+
+        from repro.profiling.cache import CacheStats
+
+        stats = CacheStats()
+        threads_per_counter = 4
+        bumps_each = 500
+
+        def hammer(counter):
+            for _ in range(bumps_each):
+                stats.bump(counter)
+
+        threads = [
+            threading.Thread(target=hammer, args=(counter,))
+            for counter in ("hits", "misses", "stores")
+            for _ in range(threads_per_counter)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = threads_per_counter * bumps_each
+        snap = stats.as_dict()
+        assert snap["hits"] == expected
+        assert snap["misses"] == expected
+        assert snap["stores"] == expected
+
+    def test_bump_rejects_unknown_counter(self):
+        from repro.profiling.cache import CacheStats
+
+        with pytest.raises(ValueError, match="unknown cache counter"):
+            CacheStats().bump("wins")
+
+    def test_stats_survive_pickling_without_the_lock(self):
+        # workers ship stats across process boundaries; the lock must be
+        # dropped on the way out and recreated on the way in
+        import pickle
+
+        from repro.profiling.cache import CacheStats
+
+        stats = CacheStats()
+        stats.bump("hits", 3)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.hits == 3
+        clone.bump("hits")  # the recreated lock works
+        assert clone.hits == 4
+
+    def test_merge_accumulates_a_snapshot(self):
+        from repro.profiling.cache import CacheStats
+
+        a, b = CacheStats(), CacheStats()
+        a.bump("hits", 2)
+        b.bump("hits", 5)
+        b.bump("read_errors")
+        a.merge(b)
+        assert a.hits == 7 and a.read_errors == 1

@@ -46,6 +46,14 @@ SLOW_ARGS = [
 ]
 
 
+def _metric_value(text, name):
+    """First sample value of *name* in Prometheus exposition *text*."""
+    for line in text.splitlines():
+        if line.startswith(name + " ") or line.startswith(name + "{"):
+            return float(line.rsplit(" ", 1)[1])
+    return 0.0
+
+
 @pytest.fixture
 def service(tmp_path):
     svc = AnalysisService(port=0, workers=2, cache_dir=str(tmp_path / "cache"))
@@ -203,6 +211,59 @@ class TestCancel:
         with pytest.raises(ServiceError) as exc:
             client.cancel(job["id"])
         assert exc.value.status == 409
+        # DELETE on the already-terminal job again: still 409, not 500/404
+        with pytest.raises(ServiceError) as exc:
+            client.cancel(job["id"])
+        assert exc.value.status == 409
+
+    def test_cancel_while_running_is_cooperative(self, tmp_path):
+        import time as _time
+
+        log_path = tmp_path / "jobs.jsonl"
+        svc = AnalysisService(
+            port=0, workers=1,
+            cache_dir=str(tmp_path / "cache"),
+            jsonl_path=str(log_path),
+        )
+        svc.start_background()
+        try:
+            client = ServiceClient(svc.url)
+            client.wait_healthy(timeout=5.0)
+            metrics_before = client.metrics()
+            job = client.submit_source(SLOW_SRC, entry="mm", args=SLOW_ARGS)
+            # wait until the single worker actually claims it
+            deadline = _time.monotonic() + 30.0
+            while client.job(job["id"])["state"] != "running":
+                assert _time.monotonic() < deadline, "job never started running"
+                _time.sleep(0.02)
+            record = client.cancel(job["id"])
+            assert record["state"] == "running"
+            assert record["cancel_requested"] is True
+            final = client.wait(job["id"], timeout=120.0)
+            assert final["state"] == "cancelled"
+            assert final.get("result") is None
+            assert final["info"]["completed_as"] == "done"
+            # the cancellation is visible in the daemon's metrics...
+            # counters are process-global across tests, so assert the delta
+            metrics_after = client.metrics()
+            delta = _metric_value(
+                metrics_after, "repro_jobs_cancelled_total"
+            ) - _metric_value(metrics_before, "repro_jobs_cancelled_total")
+            assert delta == 1
+        finally:
+            svc.shutdown()
+        # ...and in its structured log, correlated with the submission
+        events = [json.loads(line) for line in log_path.read_text().splitlines()]
+        by_event = {}
+        for doc in events:
+            by_event.setdefault(doc["event"], []).append(doc)
+        assert "job.cancel_requested" in by_event
+        cancel_doc = by_event["job.cancel_requested"][0]
+        assert cancel_doc["correlation_id"] == job["correlation_id"]
+        terminal = [
+            d for d in by_event["job.transition"] if d["state"] == "cancelled"
+        ]
+        assert terminal and terminal[-1]["correlation_id"] == job["correlation_id"]
 
 
 class TestListing:
@@ -276,3 +337,34 @@ class TestCliCommands:
             main(["--version"])
         assert exc.value.code == 0
         assert repro.__version__ in capsys.readouterr().out
+
+
+class TestMetricsEndpoint:
+    def test_metrics_expose_job_cache_pool_and_stage_series(self, client):
+        job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        assert client.wait(job["id"], timeout=60.0)["state"] == "done"
+        text = client.metrics()
+        # jobs
+        assert _metric_value(text, "repro_jobs_submitted_total") >= 1
+        assert _metric_value(text, "repro_jobs_completed_total") >= 1
+        assert "repro_job_queue_wait_seconds_bucket" in text
+        assert 'repro_job_run_seconds_count{kind="source"}' in text
+        # cache (the cold submission missed, then stored)
+        assert _metric_value(text, "repro_profile_cache_misses_total") >= 1
+        assert _metric_value(text, "repro_profile_cache_stores_total") >= 1
+        assert "repro_cache_read_seconds_bucket" in text
+        # pool gauges read live executor state
+        assert _metric_value(text, "repro_pool_workers") == 2
+        assert "repro_jobs_queue_depth" in text
+        # per-detector-stage histograms
+        assert 'repro_detector_stage_seconds_count{stage="loop-classes"}' in text
+        assert "# TYPE repro_detector_stage_seconds histogram" in text
+
+    def test_metrics_cli_prints_exposition(self, service, capsys):
+        assert main(["metrics", "--url", service.url]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_jobs_submitted_total counter" in out
+
+    def test_metrics_cli_unreachable_daemon(self, capsys):
+        assert main(["metrics", "--url", "http://127.0.0.1:1"]) == 1
+        assert "metrics:" in capsys.readouterr().err

@@ -74,7 +74,7 @@ class TestJobStore:
         with pytest.raises(ValueError, match="unknown job kind"):
             JobStore().submit("mystery", {})
 
-    def test_cancel_only_while_queued(self):
+    def test_cancel_while_queued_is_immediate(self):
         store = JobStore()
         job = store.submit("bench", {"name": "x"})
         store.cancel(job.id)
@@ -82,12 +82,25 @@ class TestJobStore:
         # a cancelled entry left in the queue is skipped by claim
         assert store.claim(timeout=0.05) is None
 
-        running = store.submit("bench", {"name": "y"})
-        store.claim(timeout=0.1)
-        with pytest.raises(ValueError, match="not queued"):
-            store.cancel(running.id)
         with pytest.raises(KeyError):
             store.cancel(999)
+
+    def test_cancel_while_running_is_cooperative(self):
+        store = JobStore()
+        job = store.submit("bench", {"name": "y"})
+        store.claim(timeout=0.1)
+        # cancel mid-run: the job keeps running but is marked, and the
+        # worker's completion lands as cancelled with the result discarded
+        cancelled = store.cancel(job.id)
+        assert cancelled.state == "running" and cancelled.cancel_requested
+        store.finish(job.id, {"discard": "me"})
+        final = store.get(job.id)
+        assert final.state == "cancelled"
+        assert final.result is None
+        assert final.info["completed_as"] == "done"
+        # now terminal: a second cancel conflicts
+        with pytest.raises(ValueError, match="already terminal"):
+            store.cancel(job.id)
 
     def test_fail_records_error(self):
         store = JobStore()
@@ -131,11 +144,16 @@ class TestJobStore:
         store.finish(job.id, {"schema_version": SCHEMA_VERSION})
         lines = [json.loads(line) for line in log.read_text().splitlines()]
         assert [doc["state"] for doc in lines] == ["queued", "running", "done"]
+        # structured log lines: event + correlation id + the versioned
+        # job-record envelope under "record"
         for doc in lines:
-            validate_job_record(doc)
+            assert doc["event"] == "job.transition"
+            assert doc["correlation_id"] == job.correlation_id
+            validate_job_record(doc["record"])
         # source text never leaks into records — only its digest
-        assert "source" not in lines[0]["payload"]
-        assert len(lines[0]["payload"]["source_sha256"]) == 64
+        payload = lines[0]["record"]["payload"]
+        assert "source" not in payload
+        assert len(payload["source_sha256"]) == 64
 
     def test_persistence_failure_is_best_effort(self, tmp_path):
         store = JobStore(jsonl_path=str(tmp_path / "no" / "such" / "dir" / "x.jsonl"))
@@ -227,7 +245,8 @@ class TestExecutor:
             assert done.state == "done"
             assert done.result["schema_version"] == SCHEMA_VERSION
             assert done.result["program"]["source"] == SRC
-            assert done.info == {"profile_cache_hit": False}
+            assert done.info["profile_cache_hit"] is False
+            assert done.info["queue_wait_s"] >= 0.0
         finally:
             executor.shutdown()
 
@@ -238,7 +257,7 @@ class TestExecutor:
             self._wait_terminal(store, first.id)
             second = store.submit("source", _source_payload())
             done = self._wait_terminal(store, second.id)
-            assert done.info == {"profile_cache_hit": True}
+            assert done.info["profile_cache_hit"] is True
             assert executor.cache.stats.hits == 1
         finally:
             executor.shutdown()
