@@ -112,11 +112,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     if cache is not None:
         profile, hit = cached_profile_runs(
-            program, args.entry, [_collect_args(args)], cache=cache
+            program, args.entry, [_collect_args(args)], cache=cache,
+            engine=args.engine,
         )
         origin = "cache hit" if hit else "instrumented run"
     else:
-        profile = profile_runs(program, args.entry, [_collect_args(args)])
+        profile = profile_runs(
+            program, args.entry, [_collect_args(args)], engine=args.engine
+        )
         origin = "instrumented run"
     with open(args.output, "w") as fh:
         save_profile(profile, fh)
@@ -158,7 +161,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print("detect: --no-cache requires --profile", file=sys.stderr)
             return 2
         profile, hit = cached_profile_runs(
-            program, args.entry, [_collect_args(args)], cache=cache
+            program, args.entry, [_collect_args(args)], cache=cache,
+            engine=args.engine,
         )
         # Keep stdout pure JSON in --json mode; the provenance note is advisory.
         print(
@@ -182,12 +186,56 @@ void kernel(float A[][], float x[], float y[], int n) {
 """
 
 
+#: Regression tolerance for ``bench --smoke --baseline``: the measured cold
+#: serial sweep may exceed the committed baseline by this factor before the
+#: gate fails.  Generous on purpose — CI containers share cores and a cold
+#: sweep has ±20% run-to-run noise; the gate exists to catch order-of-
+#: magnitude regressions (an engine accidentally falling back to the tree
+#: walker), not 5% drifts.
+BASELINE_TOLERANCE = 0.25
+
+
+def _check_baseline(args: argparse.Namespace, failures: list) -> None:
+    """Gate the cold serial registry sweep against a committed bench report.
+
+    Re-measures ``analyze_registry(parallel=False)`` wall-clock — the same
+    quantity ``bench_pipeline_perf.py`` records as
+    ``optimized.cold_serial`` — and fails when it regresses more than
+    :data:`BASELINE_TOLERANCE` over the committed number.
+    """
+    import time
+
+    from repro.runtime.parallel import FailedOutcome, analyze_registry
+
+    with open(args.baseline) as fh:
+        doc = json.load(fh)
+    base_s = doc["optimized"]["cold_serial"]
+    budget_s = base_s * (1.0 + BASELINE_TOLERANCE)
+    t0 = time.perf_counter()
+    outcomes = analyze_registry(parallel=False, engine=args.engine)
+    cold_s = time.perf_counter() - t0
+    failed = [o.name for o in outcomes if isinstance(o, FailedOutcome)]
+    if failed:
+        failures.append(f"cold serial sweep had failing programs: {failed}")
+    print(
+        f"baseline gate: cold serial sweep {cold_s:.2f} s vs committed "
+        f"{base_s:.2f} s (budget {budget_s:.2f} s = +{BASELINE_TOLERANCE:.0%})"
+    )
+    if cold_s > budget_s:
+        failures.append(
+            f"cold serial sweep regressed: {cold_s:.2f}s > {budget_s:.2f}s "
+            f"({BASELINE_TOLERANCE:.0%} over the committed {base_s:.2f}s)"
+        )
+
+
 def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     """Perf smoke check: one small program, uncached then cached.
 
-    Exercises the full fast path (interpret -> batched profile -> detect)
+    Exercises the full fast path (compile -> batched profile -> detect)
     and the content-addressed cache, asserting a store on the cold run and
-    a hit (with zero re-interpretation) on the warm run.
+    a hit (with zero re-execution) on the warm run.  With ``--baseline``
+    it additionally re-measures the cold serial registry sweep and fails
+    on a regression beyond :data:`BASELINE_TOLERANCE`.
     """
     import tempfile
     import time
@@ -207,12 +255,12 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     t0 = time.perf_counter()
     cold_profile, cold_hit = cached_profile_runs(
-        program, "kernel", arg_sets, cache=cache
+        program, "kernel", arg_sets, cache=cache, engine=args.engine
     )
     cold_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     warm_profile, warm_hit = cached_profile_runs(
-        program, "kernel", arg_sets, cache=cache
+        program, "kernel", arg_sets, cache=cache, engine=args.engine
     )
     warm_s = time.perf_counter() - t0
 
@@ -231,6 +279,8 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     print(f"bench --smoke: cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms")
     print(f"cache: {cache.stats.stores} store(s), {cache.stats.hits} hit(s) at {cache_dir}")
+    if args.baseline:
+        _check_baseline(args, failures)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -274,7 +324,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         try:
             spec = get_benchmark(args.name)
             result = call_with_timeout(
-                lambda name, _cache: analyze_benchmark(name),
+                lambda name, _cache: analyze_benchmark(name, engine=args.engine),
                 args.name, None, args.timeout,
             )
             break
@@ -362,6 +412,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         fail_fast=not args.keep_going,
+        engine=args.engine,
     )
     failures = [o for o in outcomes if isinstance(o, FailedOutcome)]
     # --keep-going (default) reports partial results and exits 0; --fail-fast
@@ -579,6 +630,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("--engine", choices=["compiled", "tree"],
+                            default="compiled",
+                            help="execution engine for instrumented runs: "
+                                 "compiled closures (default) or the tree-"
+                                 "walking reference interpreter; profiles "
+                                 "are identical either way")
+
+
 def _add_json_flags(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument("--json", action="store_true",
                             help="emit the versioned analysis schema as JSON")
@@ -631,7 +691,8 @@ def main(argv: list[str] | None = None) -> int:
                            help="profile cache directory (default: "
                                 "$REPRO_PROFILE_CACHE or ~/.cache/repro/profiles)")
     p_profile.add_argument("--no-cache", action="store_true",
-                           help="always re-run the instrumented interpreter")
+                           help="always re-run the instrumented engine")
+    _add_engine_flag(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
 
     p_detect = sub.add_parser(
@@ -653,6 +714,7 @@ def main(argv: list[str] | None = None) -> int:
     p_detect.add_argument("--no-source", action="store_true")
     p_detect.add_argument("--no-trace", action="store_true",
                           help="omit the detection trace from the text report")
+    _add_engine_flag(p_detect)
     _add_json_flags(p_detect)
     p_detect.set_defaults(func=_cmd_detect)
 
@@ -668,6 +730,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="per-attempt analysis timeout in seconds")
     p_bench.add_argument("--retries", type=int, default=0,
                          help="re-run a failing analysis up to N extra times")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="with --smoke: committed BENCH_pipeline.json to "
+                              "gate the cold serial sweep against (fails on a "
+                              ">25%% regression)")
+    _add_engine_flag(p_bench)
     _add_json_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -763,6 +830,7 @@ def main(argv: list[str] | None = None) -> int:
     p_t3.add_argument("--fail-fast", dest="keep_going", action="store_false",
                       help="stop the sweep at the first exhausted failure "
                            "and exit non-zero")
+    _add_engine_flag(p_t3)
     _add_json_flags(p_t3)
     p_t3.set_defaults(func=_cmd_table3)
 

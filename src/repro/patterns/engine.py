@@ -71,27 +71,34 @@ def analyze(
     max_cost: int = 500_000_000,
     cache: "ProfileCache | None" = None,
     registry: DetectorRegistry | None = None,
+    engine: str = "compiled",
 ) -> AnalysisResult:
     """Profile ``entry`` with each argument set and run all detectors.
 
     Pass a :class:`repro.profiling.cache.ProfileCache` to skip the
     instrumented run entirely when an identical (source, inputs, config)
     profile is already on disk, and a :class:`DetectorRegistry` to run a
-    non-default detector pipeline.
+    non-default detector pipeline.  *engine* picks the execution engine for
+    the instrumented runs (``"compiled"`` closures or the ``"tree"``
+    reference walker); the produced profiles are identical either way.
     """
     with ensure_tracer() as tracer:
-        with tracer.span("profile", cached=cache is not None, runs=len(arg_sets)):
+        with tracer.span(
+            "profile", cached=cache is not None, runs=len(arg_sets), engine=engine
+        ):
             if cache is not None:
                 from repro.profiling.cache import cached_profile_runs
 
                 profile, _ = cached_profile_runs(
                     program, entry, arg_sets,
                     record_calltree=record_calltree, max_cost=max_cost, cache=cache,
+                    engine=engine,
                 )
             else:
                 profile = profile_runs(
                     program, entry, arg_sets,
                     record_calltree=record_calltree, max_cost=max_cost,
+                    engine=engine,
                 )
         return analyze_profile(
             program,

@@ -280,11 +280,18 @@ def cached_profile_runs(
     record_calltree: bool = True,
     max_cost: int = 500_000_000,
     cache: ProfileCache | None = None,
+    engine: str = "compiled",
 ) -> tuple[Profile, bool]:
     """Like :func:`repro.profiling.runner.profile_runs`, but cache-backed.
 
     Returns ``(profile, was_hit)``.  On a hit the interpreter never runs; on
     a miss the merged profile is computed and stored before returning.
+
+    *engine* selects the execution engine on a miss.  It is deliberately
+    **not** part of the cache key: both engines produce byte-identical
+    canonical profiles (enforced by the differential test suite), so an
+    entry computed by either is valid for both and switching engines never
+    cold-starts the cache.
     """
     if cache is None:
         cache = ProfileCache()
@@ -300,7 +307,7 @@ def cached_profile_runs(
         return profile, True
     profile = profile_runs(
         program, entry, arg_sets,
-        record_calltree=record_calltree, max_cost=max_cost,
+        record_calltree=record_calltree, max_cost=max_cost, engine=engine,
     )
     # The profile is already computed; an unwritable cache (read-only dir,
     # full disk) must not forfeit it.  Future calls simply recompute.

@@ -3,6 +3,14 @@
 ``profile_run`` executes one entry call and returns ``(Profile, RunResult)``;
 ``profile_runs`` executes several argument sets (the paper's "multiple
 representative inputs") and merges the profiles.
+
+Both accept an ``engine`` selector: ``"compiled"`` (default) lowers each
+function once into nested Python closures via
+:mod:`repro.runtime.compile` and runs those; ``"tree"`` walks the AST with
+:class:`~repro.runtime.interpreter.Interpreter`.  The two engines emit the
+same event stream, so every profile field — and therefore the canonical
+profile digest — is identical between them; the tree walker is kept as the
+executable reference semantics and the compiled engine as the fast path.
 """
 
 from __future__ import annotations
@@ -12,7 +20,18 @@ from typing import Any, Sequence
 from repro.lang.ast_nodes import Program
 from repro.profiling.model import Profile
 from repro.profiling.profiler import Profiler
+from repro.runtime.compile import CompiledEngine
 from repro.runtime.interpreter import Interpreter, RunResult
+
+ENGINES = ("compiled", "tree")
+
+
+def _make_engine(program: Program, sink, max_cost: int, engine: str):
+    if engine == "compiled":
+        return CompiledEngine(program, sink=sink, max_cost=max_cost)
+    if engine == "tree":
+        return Interpreter(program, sink=sink, max_cost=max_cost)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 
 def profile_run(
@@ -21,11 +40,12 @@ def profile_run(
     args: Sequence[Any] = (),
     record_calltree: bool = True,
     max_cost: int = 500_000_000,
+    engine: str = "compiled",
 ) -> tuple[Profile, RunResult]:
     """Execute ``entry(*args)`` under instrumentation; return the profile."""
     profiler = Profiler(record_calltree=record_calltree)
-    interp = Interpreter(program, sink=profiler, max_cost=max_cost)
-    result = interp.run(entry, args)
+    eng = _make_engine(program, profiler, max_cost, engine)
+    result = eng.run(entry, args)
     return profiler.profile, result
 
 
@@ -35,6 +55,7 @@ def profile_runs(
     arg_sets: Sequence[Sequence[Any]],
     record_calltree: bool = True,
     max_cost: int = 500_000_000,
+    engine: str = "compiled",
 ) -> Profile:
     """Profile several runs with different inputs and merge the profiles."""
     if not arg_sets:
@@ -42,7 +63,12 @@ def profile_runs(
     merged: Profile | None = None
     for args in arg_sets:
         profile, _ = profile_run(
-            program, entry, args, record_calltree=record_calltree, max_cost=max_cost
+            program,
+            entry,
+            args,
+            record_calltree=record_calltree,
+            max_cost=max_cost,
+            engine=engine,
         )
         merged = profile if merged is None else merged.merge(profile)
     assert merged is not None

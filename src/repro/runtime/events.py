@@ -28,10 +28,18 @@ existing sink keeps working unchanged; hot sinks (the profiler) override
 events inline.  Event ordering within and across batches is exactly the
 per-event call order.
 
+Memory-access events do not carry ``(var, line, element)`` strings and flags
+per event: the execution engines announce the program's static
+:class:`~repro.runtime.sites.SiteTable` once via :meth:`Sink.set_site_table`,
+and each access event then carries only its compact site id (see
+``repro.runtime.sites``).  The base ``consume_batch`` resolves sids back to
+``(var, line, element)`` before replaying through the per-event handlers, so
+sinks written against the per-event API never see a sid.
+
 Batch event layouts (first element is the tag)::
 
-    (EV_READ, addr, var, line, element)
-    (EV_WRITE, addr, var, line, element)
+    (EV_READ, addr, sid)
+    (EV_WRITE, addr, sid)
     (EV_STMT, line)
     (EV_COST, line, amount)
     (EV_ENTER_FUNC, region_id, activation_id, call_line)
@@ -60,7 +68,17 @@ EV_EXIT_LOOP = 8
 class Sink:
     """Base sink with no-op handlers."""
 
-    __slots__ = ()
+    __slots__ = ("_site_table",)
+
+    def set_site_table(self, table) -> None:
+        """Announce the program's static access-site table.
+
+        Called once by an execution engine before any events flow.  The base
+        class keeps the table so :meth:`consume_batch` can resolve the sids
+        in access events for per-event handlers; sinks with their own batch
+        loop typically hoist the table's arrays instead.
+        """
+        self._site_table = table
 
     def enter_function(self, region_id: int, activation_id: int, call_line: int) -> None:
         pass
@@ -103,12 +121,18 @@ class Sink:
         on_write = self.on_write
         on_cost = self.on_cost
         on_stmt = self.on_stmt
+        table = getattr(self, "_site_table", None)
+        s_lines = table.lines if table is not None else None
+        s_vars = table.vars if table is not None else None
+        s_elems = table.elements if table is not None else None
         for ev in events:
             tag = ev[0]
             if tag == EV_READ:
-                on_read(ev[1], ev[2], ev[3], ev[4])
+                sid = ev[2]
+                on_read(ev[1], s_vars[sid], s_lines[sid], s_elems[sid])
             elif tag == EV_WRITE:
-                on_write(ev[1], ev[2], ev[3], ev[4])
+                sid = ev[2]
+                on_write(ev[1], s_vars[sid], s_lines[sid], s_elems[sid])
             elif tag == EV_COST:
                 on_cost(ev[1], ev[2])
             elif tag == EV_STMT:
@@ -134,6 +158,11 @@ class MultiSink(Sink):
 
     def __init__(self, *sinks: Sink) -> None:
         self.sinks = [s for s in sinks if s is not None]
+
+    def set_site_table(self, table) -> None:
+        self._site_table = table
+        for s in self.sinks:
+            s.set_site_table(table)
 
     def enter_function(self, region_id: int, activation_id: int, call_line: int) -> None:
         for s in self.sinks:

@@ -67,6 +67,7 @@ from repro.runtime.events import (
     Sink,
 )
 from repro.runtime.intrinsics import INTRINSICS
+from repro.runtime.sites import get_site_table
 from repro.runtime.values import AddressSpace, ArrayValue, ScalarCell
 
 # Cost constants hoisted to module level: attribute lookups on the `costs`
@@ -87,6 +88,49 @@ _RETURN = costs.RETURN
 EVENT_CHUNK = 8192
 
 _CMP_OPS = frozenset(("==", "!=", "<", "<=", ">", ">="))
+
+
+def build_globals(
+    program: Program, space: AddressSpace
+) -> dict[str, ScalarCell | ArrayValue]:
+    """Allocate and initialize the program's global variables.
+
+    Shared by the tree-walking interpreter and the closure compiler so both
+    engines resolve identical global storage (addresses included — both
+    allocate globals first from a fresh :class:`AddressSpace`).
+    """
+    globals_: dict[str, ScalarCell | ArrayValue] = {}
+
+    def const_expr(expr: Expr) -> int | float:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            return -const_expr(expr.operand)
+        if isinstance(expr, BinOp):
+            left = const_expr(expr.left)
+            right = const_expr(expr.right)
+            return Interpreter._apply_binop(expr.op, left, right, expr.line)
+        if isinstance(expr, VarRef):
+            slot = globals_.get(expr.name)
+            if isinstance(slot, ScalarCell):
+                return slot.value
+        raise InterpreterError("global initializer must be constant", line=expr.line)
+
+    for decl in program.globals:
+        if decl.dims:
+            extents = [const_expr(d) for d in decl.dims]
+            globals_[decl.name] = ArrayValue(decl.type, extents, space, name=decl.name)
+        else:
+            value: int | float = 0 if decl.type == "int" else 0.0
+            if decl.init is not None:
+                value = const_expr(decl.init)
+                value = int(value) if decl.type == "int" else float(value)
+            globals_[decl.name] = ScalarCell(
+                addr=space.alloc(1), value=value, name=decl.name
+            )
+    return globals_
 
 
 class _ReturnSignal(Exception):
@@ -159,6 +203,8 @@ class Interpreter:
         # event, tagged tuples accumulate here and flush to the sink in
         # chunks (order preserved).  Unused when no sink is attached.
         self._events: list[tuple] = []
+        if sink is not None:
+            sink.set_site_table(get_site_table(program))
         self._init_globals()
 
     # ------------------------------------------------------------------
@@ -197,38 +243,7 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def _init_globals(self) -> None:
-        for decl in self.program.globals:
-            if decl.dims:
-                extents = [self._const_expr(d) for d in decl.dims]
-                self.globals[decl.name] = ArrayValue(
-                    decl.type, extents, self.space, name=decl.name
-                )
-            else:
-                value: int | float = 0 if decl.type == "int" else 0.0
-                if decl.init is not None:
-                    value = self._const_expr(decl.init)
-                    value = int(value) if decl.type == "int" else float(value)
-                self.globals[decl.name] = ScalarCell(
-                    addr=self.space.alloc(1), value=value, name=decl.name
-                )
-
-    def _const_expr(self, expr: Expr) -> int | float:
-        """Evaluate a constant expression (globals initialization only)."""
-        if isinstance(expr, IntLit):
-            return expr.value
-        if isinstance(expr, FloatLit):
-            return expr.value
-        if isinstance(expr, UnaryOp) and expr.op == "-":
-            return -self._const_expr(expr.operand)
-        if isinstance(expr, BinOp):
-            left = self._const_expr(expr.left)
-            right = self._const_expr(expr.right)
-            return self._apply_binop(expr.op, left, right, expr.line)
-        if isinstance(expr, VarRef):
-            slot = self.globals.get(expr.name)
-            if isinstance(slot, ScalarCell):
-                return slot.value
-        raise InterpreterError("global initializer must be constant", line=expr.line)
+        self.globals = build_globals(self.program, self.space)
 
     # ------------------------------------------------------------------
     # public API
@@ -334,7 +349,7 @@ class Interpreter:
                     frame.vars[param.name] = cell
                     if self.sink is not None:
                         self._events.append(
-                            (EV_WRITE, cell.addr, param.name, func.line, False)
+                            (EV_WRITE, cell.addr, param._sid)
                         )
                     self._charge(func.line, _STORE)
             result: Any = None
@@ -465,7 +480,7 @@ class Interpreter:
             value = self._eval(decl.init, frame)
             slot.value = int(value) if decl.type == "int" else float(value)
             if self.sink is not None:
-                self._events.append((EV_WRITE, slot.addr, decl.name, decl.line, False))
+                self._events.append((EV_WRITE, slot.addr, decl._sid))
             self._charge(decl.line, _STORE)
 
     def _exec_assign(self, stmt: Assign, frame: _Frame) -> None:
@@ -484,14 +499,14 @@ class Interpreter:
             else:
                 current = slot.data[flat]
                 if self.sink is not None:
-                    self._events.append((EV_READ, addr, target.name, line, True))
+                    self._events.append((EV_READ, addr, stmt._sid_read))
                 self._charge(line, _LOAD)
                 rhs = self._eval(stmt.value, frame)
                 value = self._apply_binop(stmt.op[0], current, rhs, line)
                 self._charge(line, _ARITH)
             slot.set(flat, value)
             if self.sink is not None:
-                self._events.append((EV_WRITE, addr, target.name, line, True))
+                self._events.append((EV_WRITE, addr, stmt._sid_write))
             self._charge(line, _STORE)
         else:
             if not isinstance(slot, ScalarCell):
@@ -502,7 +517,7 @@ class Interpreter:
                 value = self._eval(stmt.value, frame)
             else:
                 if self.sink is not None:
-                    self._events.append((EV_READ, slot.addr, target.name, line, False))
+                    self._events.append((EV_READ, slot.addr, stmt._sid_read))
                 self._charge(line, _LOAD)
                 rhs = self._eval(stmt.value, frame)
                 value = self._apply_binop(stmt.op[0], slot.value, rhs, line)
@@ -511,7 +526,7 @@ class Interpreter:
                 value = int(value)
             slot.value = value
             if self.sink is not None:
-                self._events.append((EV_WRITE, slot.addr, target.name, line, False))
+                self._events.append((EV_WRITE, slot.addr, stmt._sid_write))
             self._charge(line, _STORE)
 
     def _exec_for(self, loop: For, frame: _Frame) -> None:
@@ -627,7 +642,7 @@ class Interpreter:
                     f"array {name!r} used as a scalar", line=expr.line
                 )
             if self.sink is not None:
-                self._events.append((EV_READ, slot.addr, name, expr.line, False))
+                self._events.append((EV_READ, slot.addr, expr._sid))
             self._charge(expr.line, _LOAD)
             return slot.value
         if kind is IntLit:
@@ -641,7 +656,7 @@ class Interpreter:
             flat = slot.flat_index(indices, line=expr.line)
             if self.sink is not None:
                 self._events.append(
-                    (EV_READ, slot.base + flat, expr.name, expr.line, True)
+                    (EV_READ, slot.base + flat, expr._sid)
                 )
             self._charge(expr.line, _LOAD)
             return slot.data[flat]

@@ -39,6 +39,7 @@ profiles (writes are atomic, so concurrent workers are safe).
 
 from __future__ import annotations
 
+import functools
 import os
 import signal
 import threading
@@ -246,12 +247,16 @@ def outcome_from_analysis(spec, result, sim_outcome) -> BenchmarkOutcome:
     )
 
 
-def analyze_one(name: str, cache_dir: str | None = None) -> BenchmarkOutcome:
+def analyze_one(
+    name: str, cache_dir: str | None = None, engine: str = "compiled"
+) -> BenchmarkOutcome:
     """Analyze one registry benchmark from scratch; used as the pool worker.
 
     Deliberately avoids ``registry.analyze_benchmark`` (its ``lru_cache``
     would be inherited by forked workers and could mask real recomputation)
-    and re-parses the program from its source text.
+    and re-parses the program from its source text.  *engine* selects the
+    execution engine for the instrumented runs; outcomes (including the
+    profile digest) are identical across engines.
     """
     from repro.bench_programs.registry import get_benchmark
     from repro.lang.parser import parse_program
@@ -274,6 +279,7 @@ def analyze_one(name: str, cache_dir: str | None = None) -> BenchmarkOutcome:
         hotspot_threshold=spec.hotspot_threshold,
         min_pairs=spec.min_pairs,
         cache=cache,
+        engine=engine,
     )
     return outcome_from_analysis(spec, result, plan_and_simulate(result))
 
@@ -472,12 +478,18 @@ def analyze_registry(
     backoff: float = 0.5,
     fail_fast: bool = False,
     analyze_fn: Callable[[str, str | None], BenchmarkOutcome] = analyze_one,
+    engine: str = "compiled",
 ) -> list["BenchmarkOutcome | FailedOutcome"]:
     """Analyze registry benchmarks, optionally across worker processes.
 
     Results are returned in the order of *names* (registry order when None)
     whichever path runs.  ``parallel=False`` runs the identical per-program
     code in this process — the reference for equality testing.
+
+    *engine* selects the execution engine for the instrumented runs; a
+    non-default value is forwarded to *analyze_fn* as an ``engine`` keyword
+    (custom ``analyze_fn`` callables that never see a non-default engine
+    are unaffected).
 
     Fault tolerance: a program whose analysis raises or exceeds *timeout*
     seconds occupies its result slot as a :class:`FailedOutcome` after
@@ -494,6 +506,10 @@ def analyze_registry(
         names = [spec.name for spec in all_benchmarks()]
     if not names:
         return []
+    if engine != "compiled":
+        # functools.partial of a top-level function stays picklable, so the
+        # wrapped callable crosses the process-pool boundary intact.
+        analyze_fn = functools.partial(analyze_fn, engine=engine)
 
     results: dict[int, BenchmarkOutcome | FailedOutcome] = {}
     attempts: dict[int, int] = {}
