@@ -9,11 +9,14 @@ end-to-end registry sweeps:
                       (zero re-interpretation; the two-phase CLI workflow),
 * ``parallel``      — the sweep through ``repro.runtime.parallel``,
 
-plus a **service-mode** comparison: N submissions against a warm
-``repro serve`` daemon (one process, one cache, one registry load) versus
-N cold CLI invocations of the same analysis (each re-paying interpreter
-startup and import cost) — the daemon-vs-one-shot gap the analysis
-service exists to close — an **obs_overhead** section pricing the
+plus a **service-mode** comparison: N sequential submissions against a
+warm ``repro serve`` daemon (one process, one cache, one registry load)
+versus N cold CLI invocations of the same analysis (each re-paying
+interpreter startup and import cost) — the daemon-vs-one-shot gap the
+analysis service exists to close — a **service_scale** section racing
+the thread and process execution backends under an 8-way burst of
+distinct analyses (the GIL-escape case) — an **obs_overhead** section
+pricing the
 observability layer itself: best-of-3 warm-cache sweeps with metrics
 live versus :func:`repro.obs.metrics.set_enabled` off, against a <5%
 budget (negative measurements are clamped to zero and reported as the
@@ -84,7 +87,12 @@ _SERVICE_ARGS = [["rand", "A:24,24"], ["rand", "x:24"], ["rand", "y:24"], ["scal
 
 
 def _service_mode(n: int = 8) -> dict:
-    """N submits against a warm daemon vs N cold one-shot CLI runs."""
+    """N submits against a warm daemon vs N cold one-shot CLI runs.
+
+    Submissions are sequential (submit, wait, repeat): a concurrent burst
+    of identical submissions would coalesce into one execution and the
+    measurement would stop pricing the daemon round-trip.
+    """
     import subprocess
 
     from repro.service.client import ServiceClient
@@ -103,11 +111,8 @@ def _service_mode(n: int = 8) -> dict:
             client.wait(warmup["id"], timeout=120.0)
 
             t0 = time.perf_counter()
-            jobs = [
-                client.submit_source(_SERVICE_SRC, "kernel", _SERVICE_ARGS)
-                for _ in range(n)
-            ]
-            for job in jobs:
+            for _ in range(n):
+                job = client.submit_source(_SERVICE_SRC, "kernel", _SERVICE_ARGS)
                 assert client.wait(job["id"], timeout=120.0)["state"] == "done"
             daemon_s = time.perf_counter() - t0
         finally:
@@ -133,6 +138,55 @@ def _service_mode(n: int = 8) -> dict:
         "daemon_warm_s": round(daemon_s, 4),
         "cold_cli_s": round(cli_s, 4),
         "speedup": round(cli_s / daemon_s, 3),
+    }
+
+
+def _service_scale(n: int = 8) -> dict:
+    """Thread vs process backend under an 8-way burst of *distinct* jobs.
+
+    Distinct seeds defeat both the profile cache and coalescing, so every
+    job pays a full analysis: the thread backend serializes on the GIL
+    while the process backend spreads across cores.  This is the
+    throughput case the process backend exists for (alongside restoring
+    SIGALRM timeouts for source/bench jobs).
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.server import AnalysisService
+
+    workers = min(4, os.cpu_count() or 1)
+    timings = {}
+    for backend in ("thread", "process"):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
+            service = AnalysisService(
+                port=0, workers=workers, cache_dir=f"{tmp}/cache", backend=backend
+            )
+            service.start_background()
+            try:
+                client = ServiceClient(service.url)
+                client.wait_healthy(timeout=10.0)
+                # a warmup job absorbs one-time pool spin-up / import cost
+                warmup = client.submit_source(
+                    _SERVICE_SRC, "kernel", _SERVICE_ARGS, seed=10_000
+                )
+                assert client.wait(warmup["id"], timeout=120.0)["state"] == "done"
+
+                t0 = time.perf_counter()
+                jobs = [
+                    client.submit_source(_SERVICE_SRC, "kernel", _SERVICE_ARGS, seed=seed)
+                    for seed in range(n)
+                ]
+                for job in jobs:
+                    assert client.wait(job["id"], timeout=120.0)["state"] == "done"
+                timings[backend] = time.perf_counter() - t0
+            finally:
+                service.shutdown()
+
+    return {
+        "n": n,
+        "workers": workers,
+        "thread_s": round(timings["thread"], 4),
+        "process_s": round(timings["process"], 4),
+        "process_speedup": round(timings["thread"] / timings["process"], 3),
     }
 
 
@@ -302,6 +356,7 @@ def main() -> int:
         "baseline": BASELINE,
         "commit": _git_commit(),
         "service_mode": _service_mode(),
+        "service_scale": _service_scale(),
         "obs_overhead": obs,
         "engine_compare": engines,
         "optimized": e2e,
@@ -331,6 +386,12 @@ def main() -> int:
     print(
         f"observability overhead on the warm sweep: {obs['overhead_pct']:.2f}% "
         f"(budget {obs['budget_pct']:.0f}%, noise floor {obs['noise_floor_pct']:.2f}%)"
+    )
+    scale = report["service_scale"]
+    print(
+        f"service scale ({scale['n']} distinct jobs, {scale['workers']} workers): "
+        f"thread {scale['thread_s']:.2f}s vs process {scale['process_s']:.2f}s "
+        f"({scale['process_speedup']:.2f}x)"
     )
     return 0 if best >= 2.0 and obs["within_budget"] and engines["digests_identical"] else 1
 

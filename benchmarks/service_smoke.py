@@ -1,35 +1,74 @@
-"""Client smoke test against an already-running analysis daemon.
+"""Smoke tests for the analysis daemon: basic, restart, saturation.
 
+``--mode basic`` (the default) runs against an already-running daemon;
 CI starts ``repro serve`` in the background, points this script at it,
 and tears the daemon down afterwards::
 
-    PYTHONPATH=src python -m repro serve --port 8123 &
+    PYTHONPATH=src python -m repro serve --port 8123 --backend process &
     PYTHONPATH=src python benchmarks/service_smoke.py --url http://127.0.0.1:8123
 
-The smoke submits one Table III benchmark, polls to completion, and
-asserts the result matches the registry's expected detection label plus
-the simulated speedup fields — the same facts ``repro table3`` prints —
-then checks `/v1/version` and `/v1/stats` coherence.  Exit 0 on success.
+It submits one Table III benchmark, polls to completion, and asserts the
+result matches the registry's expected detection label plus the
+simulated speedup fields — the same facts ``repro table3`` prints —
+then checks `/v1/version` and `/v1/stats` coherence.
 
-Not collected by pytest (no ``test_`` prefix); the in-process equivalents
-live in ``tests/test_service_http.py``.
+``--mode restart`` and ``--mode saturation`` boot their own in-process
+daemons (no ``--url`` needed):
+
+* **restart** — submit jobs against a sqlite-backed daemon, kill it with
+  the queue non-empty, restart on the same database, and assert the
+  interrupted jobs are recovered and complete.
+* **saturation** — flood a ``--max-queue``-bounded daemon until it
+  answers 429 + ``Retry-After``, then verify a retrying client still
+  lands its work once the queue drains.
+
+Exit 0 on success.  Not collected by pytest (no ``test_`` prefix); the
+in-process equivalents live in ``tests/test_service_http.py`` and
+``tests/test_service_durability.py``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+import threading
+import time
 
 BENCHMARK = "reg_detect"
 
+SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--url", default=None, help="daemon address")
-    parser.add_argument("--benchmark", default=BENCHMARK)
-    parser.add_argument("--startup-timeout", type=float, default=30.0)
-    args = parser.parse_args(argv)
+SRC_ARGS = [["rand", "A:16"], ["scalar", "16"]]
 
+# slow enough (~1s) that a flood outruns the single worker
+SLOW_SRC = """\
+void mm(float A[][], float B[][], float C[][], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            C[i][j] = 0.0;
+            for (int k = 0; k < n; k++) {
+                C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }
+        }
+    }
+}
+"""
+
+SLOW_ARGS = [
+    ["rand", "A:24,24"], ["rand", "B:24,24"], ["zeros", "C:24,24"], ["scalar", "24"],
+]
+
+
+def _mode_basic(args) -> int:
     import repro
     from repro.bench_programs.registry import get_benchmark
     from repro.patterns.schema import SCHEMA_VERSION
@@ -65,6 +104,115 @@ def main(argv: list[str] | None = None) -> int:
         f"cache {stats['cache']['hits']} hit(s) / {stats['cache']['stores']} store(s)"
     )
     return 0
+
+
+def _mode_restart(args, workdir: str) -> int:
+    """Kill a sqlite-backed daemon mid-queue; the restart reruns the work."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import AnalysisService
+
+    db = f"{workdir}/jobs.sqlite"
+    cache = f"{workdir}/cache"
+    first = AnalysisService(port=0, workers=1, cache_dir=cache, db_path=db)
+    # serve HTTP with the workers parked so the queue stays full at "death"
+    threading.Thread(
+        target=first.httpd.serve_forever, kwargs={"poll_interval": 0.2}, daemon=True
+    ).start()
+    client = ServiceClient(first.url)
+    client.wait_healthy(timeout=args.startup_timeout)
+    submitted = [
+        client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=seed)
+        for seed in range(3)
+    ]
+    assert all(r["state"] == "queued" for r in submitted), submitted
+    first.httpd.shutdown()
+    first.httpd.server_close()
+    first.store.dispose()  # abrupt death: no draining, no completion
+    print(f"killed daemon with {len(submitted)} queued job(s)")
+
+    second = AnalysisService(port=0, workers=2, cache_dir=cache, db_path=db)
+    second.start_background()
+    try:
+        assert second.store.recovered == len(submitted), second.store.counts()
+        client2 = ServiceClient(second.url)
+        client2.wait_healthy(timeout=args.startup_timeout)
+        for record in submitted:
+            final = client2.wait(record["id"], timeout=300.0)
+            assert final["state"] == "done", final.get("error")
+            assert final["info"]["recovered"] is True, final
+        print(f"OK: restart recovered and completed {len(submitted)} job(s)")
+    finally:
+        second.shutdown()
+    return 0
+
+
+def _mode_saturation(args, workdir: str) -> int:
+    """Flood a bounded queue into 429s, then recover with a retrying client."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.server import AnalysisService
+
+    svc = AnalysisService(
+        port=0, workers=1, cache_dir=f"{workdir}/cache", max_queue=2
+    )
+    svc.start_background()
+    try:
+        strict = ServiceClient(svc.url, retry_limit=0, client_id="flooder")
+        strict.wait_healthy(timeout=args.startup_timeout)
+        rejections = 0
+        accepted = []
+        for seed in range(8):
+            try:
+                accepted.append(
+                    strict.submit_source(SLOW_SRC, entry="mm", args=SLOW_ARGS, seed=seed)
+                )
+            except ServiceError as exc:
+                assert exc.status == 429, exc
+                assert exc.retry_after is not None and exc.retry_after >= 1, exc
+                rejections += 1
+        assert rejections > 0, "queue never saturated"
+        print(f"saturated: {rejections} rejection(s), {len(accepted)} accepted")
+
+        stats = svc.stats()
+        assert stats["admission"]["rejected"] == rejections, stats["admission"]
+        assert stats["clients"]["flooder"]["rejected"] == rejections, stats["clients"]
+
+        # a retry-after-honoring client lands its work once the queue drains
+        patient = ServiceClient(
+            svc.url, retry_limit=50, retry_after_cap=0.5, client_id="patient"
+        )
+        job = patient.submit_source(SRC, entry="total", args=SRC_ARGS, seed=99)
+        record = patient.wait(job["id"], timeout=300.0)
+        assert record["state"] == "done", record.get("error")
+        for early in accepted:
+            final = patient.wait(early["id"], timeout=300.0)
+            assert final["state"] == "done", final.get("error")
+        print("OK: retrying client landed its job after the queue drained")
+    finally:
+        svc.shutdown()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--mode", choices=("basic", "restart", "saturation"), default="basic"
+    )
+    parser.add_argument("--url", default=None, help="daemon address (basic mode)")
+    parser.add_argument("--benchmark", default=BENCHMARK)
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    start = time.monotonic()
+    if args.mode == "basic":
+        code = _mode_basic(args)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-") as workdir:
+            if args.mode == "restart":
+                code = _mode_restart(args, workdir)
+            else:
+                code = _mode_saturation(args, workdir)
+    print(f"{args.mode} smoke finished in {time.monotonic() - start:.1f}s")
+    return code
 
 
 if __name__ == "__main__":

@@ -476,10 +476,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jsonl_path=args.log_jobs,
         timeout=args.timeout,
         retries=args.retries,
+        backend=args.backend,
+        db_path=args.db,
+        max_queue=args.max_queue,
     )
+    recovered = service.store.recovered
     print(
         f"repro service listening on {service.url} "
-        f"({service.executor.workers} workers, cache at {service.executor.cache.root})",
+        f"({service.executor.workers} {args.backend} workers, "
+        f"cache at {service.executor.cache.root}"
+        + (f", recovered {recovered} interrupted job(s)" if recovered else "")
+        + ")",
         flush=True,
     )
     try:
@@ -543,7 +550,7 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
     client = ServiceClient(args.url)
     try:
-        records = client.jobs(state=args.state, kind=args.kind)
+        records = client.jobs(state=args.state, kind=args.kind, limit=args.limit)
     except (ServiceError, OSError) as exc:
         print(f"jobs: {exc}", file=sys.stderr)
         return 1
@@ -761,6 +768,19 @@ def main(argv: list[str] | None = None) -> int:
                          help="default per-program timeout for sweep jobs")
     p_serve.add_argument("--retries", type=int, default=0,
                          help="default retry budget for submitted jobs")
+    p_serve.add_argument("--backend", choices=["thread", "process"],
+                         default="thread",
+                         help="execution backend: 'thread' runs jobs in the "
+                              "claiming worker thread (GIL-bound, no per-job "
+                              "timeouts), 'process' fans them over a process "
+                              "pool (parallel, real SIGALRM timeouts)")
+    p_serve.add_argument("--db", default=None, metavar="PATH",
+                         help="sqlite path for durable jobs: queued work is "
+                              "re-enqueued and finished results served warm "
+                              "across daemon restarts")
+    p_serve.add_argument("--max-queue", type=int, default=None,
+                         help="admission-control bound on queued jobs; a full "
+                              "queue answers 429 with a Retry-After hint")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -789,6 +809,8 @@ def main(argv: list[str] | None = None) -> int:
     p_jobs.add_argument("--state", default=None,
                         choices=["queued", "running", "done", "failed", "cancelled"])
     p_jobs.add_argument("--kind", default=None, choices=["source", "bench", "sweep"])
+    p_jobs.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="show only the newest N jobs (newest first)")
     _add_service_url(p_jobs)
     _add_json_flags(p_jobs)
     p_jobs.set_defaults(func=_cmd_jobs)

@@ -459,6 +459,21 @@ def job_record(job: dict[str, Any]) -> dict[str, Any]:
     job payload untouched.  A job's ``result`` field holds an ordinary
     analysis or outcome document, so consumers dispatch with the machinery
     they already have.
+
+    Since the execution-core refactor the envelope also carries three
+    provenance fields (tolerated extensions under schema version 1 — old
+    consumers that ignore unknown keys keep working):
+
+    ``digest``
+        The submission's content address (``repro.service.jobs.job_digest``)
+        — equal digests mean executing either submission would produce the
+        same result document.
+    ``coalesced_with``
+        The leader job's id when this submission attached to identical
+        in-flight work instead of executing (``null`` for jobs that ran).
+    ``backend``
+        Which execution backend (``thread``/``process``) ran — or would
+        run — the job.
     """
     doc = dict(job)
     doc["schema_version"] = SCHEMA_VERSION
@@ -480,6 +495,14 @@ def validate_job_record(doc: dict[str, Any]) -> dict[str, Any]:
     state = doc.get("state")
     if state not in JOB_STATES:
         raise ValueError(f"unknown job state {state!r}")
+    coalesced_with = doc.get("coalesced_with")
+    if coalesced_with is not None and not isinstance(coalesced_with, int):
+        raise ValueError(
+            f"'coalesced_with' must be a job id or null, got {coalesced_with!r}"
+        )
+    digest = doc.get("digest")
+    if digest is not None and not isinstance(digest, str):
+        raise ValueError(f"'digest' must be a hex string, got {digest!r}")
     return doc
 
 

@@ -175,17 +175,29 @@ class CacheStats:
         with self._lock:
             return {name: getattr(self, name) for name in _STAT_FIELDS}
 
-    def merge(self, other: "CacheStats") -> None:
+    def merge(self, other: "CacheStats", mirror_metrics: bool = False) -> None:
         """Accumulate *other*'s counters (e.g. per-worker caches) into self.
 
-        Merged totals are bookkeeping only — they are not re-mirrored into
-        the metrics registry (a forked worker's registry lives in its own
-        process; double-counting in-process merges would skew the scrape).
+        By default merged totals are bookkeeping only — an **in-process**
+        worker's cache already mirrored its increments into the shared
+        registry, so re-mirroring here would double-count the scrape.  Pass
+        ``mirror_metrics=True`` when *other* crossed a process boundary
+        (the service's process backend ships each worker's ``CacheStats``
+        back with the result): the worker's own registry increments died
+        with its process, so this merge is their only path into the
+        daemon's ``repro_profile_cache_*_total`` counters.
         """
         snapshot = other.as_dict()
         with self._lock:
             for name, value in snapshot.items():
                 setattr(self, name, getattr(self, name) + value)
+        if mirror_metrics:
+            for name, value in snapshot.items():
+                if value:
+                    get_registry().counter(
+                        f"repro_profile_cache_{name}_total",
+                        f"Profile cache {name.replace('_', ' ')}",
+                    ).inc(value)
 
 
 @dataclass

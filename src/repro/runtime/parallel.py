@@ -327,6 +327,16 @@ def _backoff_delay(backoff: float, attempt: int) -> float:
     return backoff * (2 ** (attempt - 1))
 
 
+def default_max_workers(n_tasks: int | None = None) -> int:
+    """Process-pool sizing shared by the sweep and the service's
+    ``process`` backend: the machine's CPU count, capped by the number of
+    tasks when known, never below one."""
+    workers = os.cpu_count() or 1
+    if n_tasks is not None:
+        workers = min(max(0, n_tasks), workers)
+    return max(1, workers)
+
+
 def run_one(
     name: str,
     cache_dir: str | None = None,
@@ -515,7 +525,7 @@ def analyze_registry(
     attempts: dict[int, int] = {}
     if parallel:
         if max_workers is None:
-            max_workers = min(len(names), os.cpu_count() or 1) or 1
+            max_workers = default_max_workers(len(names))
         try:
             _analyze_parallel(
                 names, max_workers, cache_dir, analyze_fn,

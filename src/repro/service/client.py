@@ -14,6 +14,14 @@ Each submission is stamped with a client-generated ``correlation_id``
 (:func:`repro.obs.logs.new_correlation_id`) unless the caller supplies
 one, so a submitter can log the id on its side and grep the daemon's
 structured log for the same job's every transition.
+
+Every request also carries an ``X-Repro-Client`` identity header
+(``REPRO_CLIENT_ID`` env var, else ``pid-<pid>``) — the daemon keys its
+per-client accounting in ``/v1/stats`` and ``/v1/metrics`` on it.  When
+admission control answers ``429``, submissions honor the server's
+``Retry-After`` hint (capped at :attr:`ServiceClient.retry_after_cap`
+seconds) and retry up to :attr:`ServiceClient.retry_limit` times before
+surfacing the :class:`ServiceError` to the caller.
 """
 
 from __future__ import annotations
@@ -30,6 +38,9 @@ from repro.obs.logs import new_correlation_id
 #: Environment override for the daemon address, honored by the CLI too.
 URL_ENV_VAR = "REPRO_SERVICE_URL"
 
+#: Environment override for the client identity header.
+CLIENT_ID_ENV_VAR = "REPRO_CLIENT_ID"
+
 DEFAULT_URL = "http://127.0.0.1:8765"
 
 
@@ -37,29 +48,50 @@ def default_service_url() -> str:
     return os.environ.get(URL_ENV_VAR) or DEFAULT_URL
 
 
+def default_client_id() -> str:
+    """This process's identity for the daemon's per-client accounting."""
+    return os.environ.get(CLIENT_ID_ENV_VAR) or f"pid-{os.getpid()}"
+
+
 class ServiceError(RuntimeError):
     """An HTTP error response from the daemon."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, retry_after: float | None = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: the server's ``Retry-After`` hint in seconds, when sent (429)
+        self.retry_after = retry_after
 
 
 class ServiceClient:
     """Thin blocking wrapper over the daemon's ``/v1`` endpoints."""
 
-    def __init__(self, url: str | None = None, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str | None = None,
+        timeout: float = 30.0,
+        client_id: str | None = None,
+        retry_limit: int = 3,
+        retry_after_cap: float = 5.0,
+    ) -> None:
         self.url = (url or default_service_url()).rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id or default_client_id()
+        #: how many 429s a submission absorbs before raising
+        self.retry_limit = max(0, retry_limit)
+        #: ceiling on a single honored ``Retry-After`` sleep — the server's
+        #: hint is advisory and a saturated daemon may suggest up to 60s;
+        #: interactive callers should not block that long per attempt
+        self.retry_after_cap = retry_after_cap
 
     def _request(self, method: str, path: str, body: dict | None = None) -> Any:
         data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"X-Repro-Client": self.client_id}
+        if data:
+            headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
-            self.url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            self.url + path, data=data, method=method, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -69,7 +101,27 @@ class ServiceClient:
                 message = json.loads(exc.read()).get("error", str(exc))
             except (ValueError, OSError):
                 message = str(exc)
-            raise ServiceError(exc.code, message) from None
+            retry_after = None
+            hint = exc.headers.get("Retry-After") if exc.headers else None
+            if hint is not None:
+                try:
+                    retry_after = float(hint)
+                except ValueError:
+                    retry_after = None
+            raise ServiceError(exc.code, message, retry_after=retry_after) from None
+
+    def _submit(self, body: dict[str, Any]) -> dict:
+        """POST a submission, absorbing 429s per the server's hints."""
+        attempts = 0
+        while True:
+            try:
+                return self._request("POST", "/v1/jobs", body)
+            except ServiceError as exc:
+                if exc.status != 429 or attempts >= self.retry_limit:
+                    raise
+                attempts += 1
+                hint = exc.retry_after if exc.retry_after is not None else 1.0
+                time.sleep(max(0.0, min(hint, self.retry_after_cap)))
 
     # -- service-level ---------------------------------------------------
 
@@ -84,7 +136,11 @@ class ServiceClient:
 
     def metrics(self) -> str:
         """The daemon's ``/v1/metrics`` Prometheus text, verbatim."""
-        request = urllib.request.Request(self.url + "/v1/metrics", method="GET")
+        request = urllib.request.Request(
+            self.url + "/v1/metrics",
+            method="GET",
+            headers={"X-Repro-Client": self.client_id},
+        )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return response.read().decode("utf-8")
@@ -129,13 +185,13 @@ class ServiceClient:
         if threshold is not None:
             body["threshold"] = threshold
         body.setdefault("correlation_id", new_correlation_id())
-        return self._request("POST", "/v1/jobs", body)
+        return self._submit(body)
 
     def submit_benchmark(self, name: str, **extra: Any) -> dict:
         """Submit one registered benchmark by name."""
         body: dict[str, Any] = {"kind": "bench", "name": name, **extra}
         body.setdefault("correlation_id", new_correlation_id())
-        return self._request("POST", "/v1/jobs", body)
+        return self._submit(body)
 
     def submit_sweep(self, names: Sequence[str] | None = None, **extra: Any) -> dict:
         """Submit a registry sweep (all benchmarks when *names* is None)."""
@@ -143,7 +199,7 @@ class ServiceClient:
         if names is not None:
             body["names"] = list(names)
         body.setdefault("correlation_id", new_correlation_id())
-        return self._request("POST", "/v1/jobs", body)
+        return self._submit(body)
 
     # -- job queries -----------------------------------------------------
 
@@ -151,11 +207,17 @@ class ServiceClient:
         """Full record (status + result/error) for one job."""
         return self._request("GET", f"/v1/jobs/{job_id}")
 
-    def jobs(self, state: str | None = None, kind: str | None = None) -> list[dict]:
+    def jobs(
+        self,
+        state: str | None = None,
+        kind: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """List retained jobs; *limit* keeps only the newest N (newest first)."""
         query = "&".join(
             f"{key}={value}"
-            for key, value in (("state", state), ("kind", kind))
-            if value
+            for key, value in (("state", state), ("kind", kind), ("limit", limit))
+            if value is not None and value != ""
         )
         doc = self._request("GET", "/v1/jobs" + (f"?{query}" if query else ""))
         return doc["jobs"]

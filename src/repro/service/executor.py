@@ -1,56 +1,37 @@
-"""Worker pool routing service jobs through the fault-tolerant analysis path.
+"""Dispatcher: claimer threads feeding jobs to an execution backend.
 
 The executor owns ``workers`` daemon threads that claim jobs from a
-:class:`~repro.service.jobs.JobStore` and run them through
+:class:`~repro.service.jobs.JobStore` and hand each one to an
+:class:`~repro.service.backends.ExecutionBackend` — the seam where the
+``thread`` and ``process`` backends plug in (see
+:mod:`repro.service.backends` for what runs where and why).  Whatever the
+backend, every job body runs under
 :func:`repro.runtime.parallel.run_one` — the same timeout / retry /
-failure-record policy the registry sweep applies per program.  A job whose
-analysis raises therefore lands as a ``failed`` record carrying the sweep's
-structured error envelope, and the worker thread survives to claim the
+failure-record policy the registry sweep applies per program — so a job
+whose analysis raises lands as a ``failed`` record carrying the sweep's
+structured error envelope, and the claimer thread survives to claim the
 next job: one crashing submission never takes the daemon down.
 
-Job kinds:
-
-``source``
-    Compile a MiniC program, profile it through the daemon's **shared
-    content-addressed cache** (repeat submissions of identical source +
-    inputs skip the interpreter entirely), and run the detector pipeline.
-    The result is the versioned analysis document — byte-identical, modulo
-    trace wall-clock timings, to what ``repro detect --json --compact``
-    prints for the same program.
-
-``bench``
-    One registered benchmark end to end (analysis + simulation), reusing
-    the shared cache; the result is the sweep's
-    :class:`~repro.runtime.parallel.BenchmarkOutcome` document.
-
-``sweep``
-    A full (or filtered) registry sweep through
-    :func:`~repro.runtime.parallel.analyze_registry` in keep-going mode —
-    per-program failures fill their slots as failure records without
-    failing the job.
-
-Timeouts: :func:`~repro.runtime.parallel.call_with_timeout` is SIGALRM
-based, and worker threads are not the main thread, so ``source`` and
-``bench`` jobs run unbounded in-process; ``sweep`` jobs submitted with
-``parallel: true`` regain full per-program timeouts because the work moves
-to process-pool workers (whose main threads can take the alarm).
+With the ``thread`` backend the claimer thread runs the analysis itself
+(GIL-bound, no SIGALRM timeouts for ``source``/``bench``); with the
+``process`` backend it blocks on a process-pool future while the analysis
+runs on a worker process's main thread (N GILs, real per-job timeouts) —
+either way ``workers`` bounds the number of concurrently running jobs.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any
 
 from repro.obs.metrics import get_registry
-from repro.obs.tracing import Tracer, activate
 from repro.profiling.cache import ProfileCache, default_cache_root
-from repro.profiling.hotspots import DEFAULT_THRESHOLD
-from repro.runtime.parallel import FailedOutcome, run_one
-from repro.service.jobs import Job, JobStore, build_call_args
+from repro.runtime.parallel import FailedOutcome
+from repro.service.backends import make_backend
+from repro.service.jobs import Job, JobStore
 
 
 class AnalysisExecutor:
-    """Bounded pool of analysis workers over a shared :class:`JobStore`."""
+    """Bounded pool of job claimers over a shared :class:`JobStore`."""
 
     def __init__(
         self,
@@ -61,6 +42,7 @@ class AnalysisExecutor:
         timeout: float | None = None,
         retries: int = 0,
         backoff: float = 0.5,
+        backend: str = "thread",
     ) -> None:
         self.store = store
         self.workers = max(1, workers)
@@ -70,6 +52,14 @@ class AnalysisExecutor:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.backend = make_backend(
+            backend,
+            cache,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            workers=self.workers,
+        )
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -97,7 +87,7 @@ class AnalysisExecutor:
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the claimer threads (idempotent)."""
         if self._threads:
             return
         self._stop.clear()
@@ -109,13 +99,14 @@ class AnalysisExecutor:
             self._threads.append(thread)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop claiming new jobs; optionally join the workers."""
+        """Stop claiming new jobs; optionally join the claimers."""
         self._stop.set()
         self.store.close()
         if wait:
             for thread in self._threads:
                 thread.join(timeout=5.0)
         self._threads.clear()
+        self.backend.shutdown()
 
     @property
     def busy(self) -> int:
@@ -143,110 +134,14 @@ class AnalysisExecutor:
                     self._busy -= 1
 
     def _execute(self, job: Job) -> None:
-        runners = {
-            "source": self._run_source,
-            "bench": self._run_bench,
-            "sweep": self._run_sweep,
-        }
-        runner = runners[job.kind]
-        timeout = job.payload.get("timeout", self.timeout)
-        retries = int(job.payload.get("retries", self.retries))
-        if job.kind == "sweep":
-            # A sweep's timeout/retries are per-program knobs consumed by
-            # analyze_registry; the job-level wrapper only catches the sweep
-            # machinery itself crashing.
-            timeout, retries = None, 0
         log = self.store.logger.bind(
             job_id=job.id, correlation_id=job.correlation_id, kind=job.kind
         )
-        # One tracer per job, activated on this worker thread: every span the
-        # analysis path opens below (parse, cache reads, detector stages)
-        # joins this job's tree, and the queue wait — measured by the store's
-        # timestamps, predating the tracer — is recorded into the same tree.
-        tracer = Tracer()
         queue_wait_s = max(0.0, (job.started_at or 0.0) - job.submitted_at)
-        tracer.record("job.queue_wait", queue_wait_s)
-        with activate(tracer):
-            with tracer.span("job.run", kind=job.kind):
-                # run_one supplies the sweep's fault semantics: after
-                # 1 + retries attempts the exhausted exception comes back as
-                # a FailedOutcome instead of propagating into (and killing)
-                # this worker thread.
-                outcome = run_one(
-                    f"job-{job.id}",
-                    timeout=timeout,
-                    retries=retries,
-                    backoff=self.backoff,
-                    analyze_fn=lambda _name, _cache_dir: runner(job.payload),
-                    log=log,
-                )
+        outcome = self.backend.run(job, queue_wait_s=queue_wait_s, log=log)
         telemetry = {"queue_wait_s": round(queue_wait_s, 6)}
         if isinstance(outcome, FailedOutcome):
             self.store.fail(job.id, outcome.to_dict(), info=telemetry)
         else:
             result, info = outcome
             self.store.finish(job.id, result, {**info, **telemetry})
-
-    # -- job runners (each returns (result_document, info)) -------------
-
-    def _run_source(self, payload: dict[str, Any]) -> tuple[dict, dict]:
-        from repro.api import compile_source
-        from repro.patterns.engine import analyze_profile
-        from repro.patterns.schema import analysis_to_dict
-        from repro.profiling.cache import cached_profile_runs
-
-        program = compile_source(payload["source"])
-        arg_sets = [
-            build_call_args(payload.get("args", []), int(payload.get("seed", 0)))
-        ]
-        profile, hit = cached_profile_runs(
-            program, payload["entry"], arg_sets, cache=self.cache
-        )
-        result = analyze_profile(
-            program,
-            profile,
-            hotspot_threshold=float(payload.get("threshold", DEFAULT_THRESHOLD)),
-        )
-        return analysis_to_dict(result), {"profile_cache_hit": hit}
-
-    def _run_bench(self, payload: dict[str, Any]) -> tuple[dict, dict]:
-        # Mirrors parallel.analyze_one, but profiles through the daemon's
-        # shared cache object so hits show up in /v1/stats.
-        from repro.bench_programs.registry import get_benchmark
-        from repro.lang.parser import parse_program
-        from repro.lang.validate import validate_program
-        from repro.patterns.engine import analyze
-        from repro.runtime.parallel import outcome_from_analysis
-        from repro.sim import plan_and_simulate
-
-        before = self.cache.stats.hits
-        spec = get_benchmark(payload["name"])
-        program = parse_program(spec.source)
-        validate_program(program)
-        result = analyze(
-            program,
-            spec.entry,
-            spec.arg_sets(),
-            hotspot_threshold=spec.hotspot_threshold,
-            min_pairs=spec.min_pairs,
-            cache=self.cache,
-        )
-        outcome = outcome_from_analysis(spec, result, plan_and_simulate(result))
-        return outcome.to_dict(), {"profile_cache_hit": self.cache.stats.hits > before}
-
-    def _run_sweep(self, payload: dict[str, Any]) -> tuple[list, dict]:
-        from repro.runtime.parallel import analyze_registry
-
-        outcomes = analyze_registry(
-            names=payload.get("names"),
-            cache_dir=str(self.cache.root),
-            parallel=bool(payload.get("parallel", False)),
-            timeout=payload.get("timeout", self.timeout),
-            retries=int(payload.get("retries", self.retries)),
-            fail_fast=False,
-        )
-        failed = sum(1 for o in outcomes if isinstance(o, FailedOutcome))
-        return (
-            [o.to_dict() for o in outcomes],
-            {"programs": len(outcomes), "failed": failed},
-        )

@@ -3,7 +3,9 @@
 Built on :class:`http.server.ThreadingHTTPServer` (stdlib only); request
 threads just enqueue into / read from the shared
 :class:`~repro.service.jobs.JobStore`, so submissions return immediately
-with ``202 Accepted`` while the bounded worker pool drains the queue.
+with ``202 Accepted`` while the bounded worker pool drains the queue
+through the configured execution backend (``thread`` or ``process`` —
+see :mod:`repro.service.backends`).
 
 Endpoints (all JSON):
 
@@ -11,28 +13,42 @@ Endpoints (all JSON):
 ``POST /v1/jobs``     submit a job: ``{"kind": "source", "source": ...,
                       "entry": ..., "args": [["rand", "A:24,24"], ...]}``,
                       ``{"kind": "bench", "name": "reg_detect"}``, or
-                      ``{"kind": "sweep", "names": [...]}``
-``GET /v1/jobs``      list retained jobs (``?state=``, ``?kind=`` filters);
-                      summaries only — results are fetched per job
+                      ``{"kind": "sweep", "names": [...]}``; identical
+                      in-flight work coalesces (the 202 record carries
+                      ``coalesced_with``); a full queue answers ``429``
+                      with a ``Retry-After`` header
+``GET /v1/jobs``      list retained jobs (``?state=``, ``?kind=`` filters;
+                      ``?limit=N`` returns only the newest N, newest
+                      first); summaries only — results are fetched per job
 ``GET /v1/jobs/<id>``     full job record: status, timestamps, result/error
 ``DELETE /v1/jobs/<id>``  cancel a job: queued jobs cancel immediately,
                           running jobs cooperatively (``cancel_requested``
                           until the worker finishes); 409 once terminal
 ``GET /v1/health``    liveness + uptime
 ``GET /v1/stats``     queue depth, per-state tallies, worker utilization,
-                      and the shared profile cache's counters
+                      backend + admission-control state, per-client
+                      request accounting, and the shared profile cache's
+                      counters
 ``GET /v1/version``   ``repro.__version__`` + analysis schema version
 ``GET /v1/metrics``   Prometheus text exposition of the process registry
                       (**not** JSON — scrape it, or ``repro metrics``)
 ====================  ======================================================
 
+Clients self-identify with an ``X-Repro-Client`` header (the bundled
+:class:`~repro.service.client.ServiceClient` always sends one; anonymous
+callers are keyed by remote address) — ``/v1/stats`` reports per-client
+accepted/coalesced/rejected tallies and ``/v1/metrics`` exposes them as
+``repro_client_requests_total{client=...,outcome=...}``.
+
 Error responses are ``{"error": <message>}`` with the usual status codes
-(400 malformed submission, 404 unknown job/route, 409 not cancellable).
+(400 malformed submission, 404 unknown job/route, 409 not cancellable,
+429 queue full, 500 unexpected handler failure — never an HTML traceback).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -43,8 +59,14 @@ from repro import __version__
 from repro.obs.metrics import get_registry
 from repro.patterns.schema import SCHEMA_VERSION
 from repro.profiling.cache import ProfileCache
+from repro.service.backends import BACKENDS
 from repro.service.executor import AnalysisExecutor
-from repro.service.jobs import JOB_KINDS, JobStore
+from repro.service.jobs import JOB_KINDS, JobStore, QueueFull
+
+#: Per-client accounting keeps at most this many distinct identities; the
+#: long tail aggregates under ``_other`` so a client-id cardinality attack
+#: cannot balloon daemon memory or scrape size.
+MAX_TRACKED_CLIENTS = 64
 
 
 class AnalysisService:
@@ -55,6 +77,10 @@ class AnalysisService:
     :meth:`serve_forever` (the CLI's ``repro serve``) or off-thread with
     :meth:`start_background`; either way :meth:`shutdown` stops the HTTP
     loop and the workers.
+
+    *backend* selects the execution backend (:data:`BACKENDS`); *db_path*
+    makes the job store durable across restarts (sqlite, WAL); *max_queue*
+    arms admission control (queue at bound → 429 + ``Retry-After``).
     """
 
     def __init__(
@@ -68,8 +94,19 @@ class AnalysisService:
         jsonl_path: str | None = None,
         timeout: float | None = None,
         retries: int = 0,
+        backend: str = "thread",
+        db_path: str | None = None,
+        max_queue: int | None = None,
     ) -> None:
-        self.store = JobStore(max_history=max_history, jsonl_path=jsonl_path)
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {list(BACKENDS)}, got {backend!r}")
+        self.store = JobStore(
+            max_history=max_history,
+            jsonl_path=jsonl_path,
+            db_path=db_path,
+            max_queue=max_queue,
+            backend=backend,
+        )
         self.executor = AnalysisExecutor(
             self.store,
             workers=workers,
@@ -77,8 +114,17 @@ class AnalysisService:
             cache_dir=cache_dir,
             timeout=timeout,
             retries=retries,
+            backend=backend,
         )
+        self.backend = backend
         self.started_at = time.time()
+        self._client_lock = threading.Lock()
+        self._clients: dict[str, dict[str, int]] = {}
+        self._client_requests = get_registry().counter(
+            "repro_client_requests_total",
+            "Submission outcomes per client identity",
+            labelnames=("client", "outcome"),
+        )
         handler = type("AnalysisRequestHandler", (_Handler,), {"service": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
@@ -113,18 +159,50 @@ class AnalysisService:
         self._thread.start()
 
     def shutdown(self) -> None:
-        """Stop the HTTP loop, close the queue, and release the socket."""
+        """Stop the HTTP loop, drain the workers, release socket + sqlite."""
         self.httpd.shutdown()
         self.httpd.server_close()
-        self.executor.shutdown(wait=False)
+        # Wait for in-flight jobs so their terminal rows land in sqlite —
+        # a clean shutdown leaves nothing for the next start to recover.
+        self.executor.shutdown(wait=True)
+        self.store.dispose()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
 
     # -- request-level operations (called from handler threads) ---------
 
-    def submit(self, body: dict[str, Any]) -> dict[str, Any]:
-        """Validate a submission body and enqueue it; raises ValueError."""
+    def record_client(self, client: str, outcome: str) -> None:
+        """Tally one submission *outcome* for *client* (stats + metrics)."""
+        with self._client_lock:
+            if client not in self._clients and len(self._clients) >= MAX_TRACKED_CLIENTS:
+                client = "_other"
+            tallies = self._clients.setdefault(
+                client, {"accepted": 0, "coalesced": 0, "rejected": 0}
+            )
+            tallies[outcome] = tallies.get(outcome, 0) + 1
+        self._client_requests.labels(client=client, outcome=outcome).inc()
+
+    def retry_after_s(self) -> int:
+        """Seconds a 429'd client should wait before resubmitting.
+
+        Estimated drain time for the current queue: depth x the store's
+        run-time EMA / worker count, clamped to [1, 60] so the hint is
+        always usable even before any job has finished (EMA still zero).
+        """
+        counts = self.store.counts()
+        avg = self.store.avg_run_s or 1.0
+        estimate = counts["queue_depth"] * avg / max(1, self.executor.workers)
+        return max(1, min(60, math.ceil(estimate)))
+
+    def submit(self, body: dict[str, Any], client: str = "") -> dict[str, Any]:
+        """Validate a submission body and enqueue it.
+
+        Raises :class:`ValueError` for malformed bodies (HTTP 400) and
+        lets :class:`QueueFull` propagate (HTTP 429) — admission-control
+        rejections are tallied against *client* here so every rejection
+        path is accounted.
+        """
         kind = body.get("kind")
         if kind not in JOB_KINDS:
             raise ValueError(f"kind must be one of {list(JOB_KINDS)}, got {kind!r}")
@@ -142,19 +220,53 @@ class AnalysisService:
             names = {spec.name for spec in all_benchmarks()}
             if body.get("name") not in names:
                 raise ValueError(f"unknown benchmark {body.get('name')!r}")
+        elif kind == "sweep":
+            # An unknown name must be a 400 here, not a failed job a poller
+            # discovers minutes later.
+            sweep_names = body.get("names")
+            if sweep_names is not None:
+                if not isinstance(sweep_names, (list, tuple)) or not all(
+                    isinstance(n, str) for n in sweep_names
+                ):
+                    raise ValueError("'names' must be a list of benchmark names")
+                from repro.bench_programs.registry import all_benchmarks
+
+                known = {spec.name for spec in all_benchmarks()}
+                unknown = sorted(set(sweep_names) - known)
+                if unknown:
+                    raise ValueError(f"unknown benchmarks {unknown!r}")
         correlation_id = body.get("correlation_id")
         if correlation_id is not None and not isinstance(correlation_id, str):
             raise ValueError("'correlation_id' must be a string")
         payload = {
             k: v for k, v in body.items() if k not in ("kind", "correlation_id")
         }
-        job = self.store.submit(kind, payload, correlation_id=correlation_id)
+        try:
+            job = self.store.submit(kind, payload, correlation_id=correlation_id)
+        except QueueFull:
+            if client:
+                self.record_client(client, "rejected")
+            raise
+        if client:
+            self.record_client(
+                client, "coalesced" if job.coalesced_with is not None else "accepted"
+            )
         return job.to_dict(include_result=False)
 
     def stats(self) -> dict[str, Any]:
+        with self._client_lock:
+            clients = {name: dict(t) for name, t in self._clients.items()}
         return {
             "uptime_s": round(time.time() - self.started_at, 3),
+            "backend": self.backend,
             "jobs": self.store.counts(),
+            "admission": {
+                "max_queue": self.store.max_queue,
+                "rejected": self.store.rejected,
+                "retry_after_s": self.retry_after_s(),
+                "avg_run_s": round(self.store.avg_run_s, 6),
+            },
+            "clients": clients,
             "workers": {
                 "count": self.executor.workers,
                 "busy": self.executor.busy,
@@ -176,11 +288,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass
 
-    def _send(self, status: int, doc: Any) -> None:
+    def _send(
+        self, status: int, doc: Any, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(doc, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -192,14 +308,56 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _error(
+        self, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        self._send(status, {"error": message}, headers=headers)
 
     def _job_id(self, path: str) -> int | None:
         tail = path[len("/v1/jobs/"):]
         return int(tail) if tail.isdigit() else None
 
+    def _client_id(self) -> str:
+        """The caller's self-declared identity, or its remote address."""
+        return (
+            self.headers.get("X-Repro-Client", "").strip()
+            or f"addr:{self.client_address[0]}"
+        )
+
+    def _guarded(self, handler) -> None:
+        """Run *handler*; any unexpected failure becomes a JSON 500.
+
+        Without this, a handler bug surfaces as ``http.server``'s HTML
+        traceback page — unparseable by API clients and silent in the
+        daemon's logs.  The log record keeps the detail; the response
+        carries a one-line summary.
+        """
+        try:
+            handler()
+        except BrokenPipeError:
+            pass  # client hung up mid-response; nothing to answer
+        except Exception as exc:  # noqa: BLE001 — the catch-all is the point
+            self.service.store.logger.error(
+                "http.error",
+                method=self.command,
+                path=self.path,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            try:
+                self._error(500, f"internal error: {type(exc).__name__}: {exc}")
+            except Exception:  # noqa: BLE001 — socket already unusable
+                pass
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._guarded(self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._guarded(self._do_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._guarded(self._do_delete)
+
+    def _do_get(self) -> None:
         url = urlparse(self.path)
         path = url.path.rstrip("/") or "/"
         if path == "/v1/health":
@@ -218,9 +376,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_text(200, get_registry().render())
         elif path == "/v1/jobs":
             query = parse_qs(url.query)
+            limit_txt = query.get("limit", [None])[0]
+            if limit_txt is not None and not limit_txt.isdigit():
+                self._error(400, f"limit must be a non-negative integer, got {limit_txt!r}")
+                return
             jobs = self.service.store.list_jobs(
                 state=query.get("state", [None])[0],
                 kind=query.get("kind", [None])[0],
+                limit=int(limit_txt) if limit_txt is not None else None,
             )
             self._send(200, {
                 "jobs": [job.to_dict(include_result=False) for job in jobs],
@@ -235,7 +398,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"no route {path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _do_post(self) -> None:
         if urlparse(self.path).path.rstrip("/") != "/v1/jobs":
             self._error(404, f"no route {self.path!r}")
             return
@@ -244,13 +407,19 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.loads(self.rfile.read(length) or b"{}")
             if not isinstance(body, dict):
                 raise ValueError("submission body must be a JSON object")
-            record = self.service.submit(body)
+            record = self.service.submit(body, client=self._client_id())
+        except QueueFull as exc:
+            self._error(
+                429, str(exc),
+                headers={"Retry-After": str(self.service.retry_after_s())},
+            )
+            return
         except (ValueError, json.JSONDecodeError) as exc:
             self._error(400, str(exc))
             return
         self._send(202, record)
 
-    def do_DELETE(self) -> None:  # noqa: N802
+    def _do_delete(self) -> None:
         path = urlparse(self.path).path.rstrip("/")
         if not path.startswith("/v1/jobs/"):
             self._error(404, f"no route {path!r}")

@@ -1,0 +1,208 @@
+"""Execution backends: thread/process parity, timeouts, degradation."""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.patterns.schema import SCHEMA_VERSION, strip_trace_timings
+from repro.profiling.cache import ProfileCache
+from repro.profiling.serialize import canonical_json
+from repro.runtime.parallel import FailedOutcome
+from repro.service.backends import (
+    BACKENDS,
+    ProcessBackend,
+    ThreadBackend,
+    execute_job,
+    make_backend,
+)
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job
+from repro.service.server import AnalysisService
+
+SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+
+SRC_ARGS = [["rand", "A:16"], ["scalar", "16"]]
+
+SLOW_SRC = """\
+void mm(float A[][], float B[][], float C[][], int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            C[i][j] = 0.0;
+            for (int k = 0; k < n; k++) {
+                C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }
+        }
+    }
+}
+"""
+
+SLOW_ARGS = [
+    ["rand", "A:32,32"], ["rand", "B:32,32"], ["zeros", "C:32,32"], ["scalar", "32"],
+]
+
+
+def _source_payload(**extra):
+    return {"source": SRC, "entry": "total", "args": SRC_ARGS, "seed": 0, **extra}
+
+
+@pytest.fixture
+def process_service(tmp_path):
+    svc = AnalysisService(
+        port=0, workers=2, cache_dir=str(tmp_path / "cache"), backend="process"
+    )
+    svc.start_background()
+    try:
+        client = ServiceClient(svc.url)
+        client.wait_healthy(timeout=5.0)
+        yield svc, client
+    finally:
+        svc.shutdown()
+
+
+class TestBackendFactory:
+    def test_known_backends(self, tmp_path):
+        cache = ProfileCache(root=str(tmp_path / "cache"))
+        assert isinstance(make_backend("thread", cache), ThreadBackend)
+        process = make_backend("process", cache, workers=1)
+        assert isinstance(process, ProcessBackend)
+        process.shutdown()
+        assert set(BACKENDS) == {"thread", "process"}
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        cache = ProfileCache(root=str(tmp_path / "cache"))
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("fiber", cache)
+        with pytest.raises(ValueError, match="backend"):
+            AnalysisService(port=0, backend="fiber")
+
+
+class TestBackendParity:
+    def test_thread_and_process_results_are_byte_identical(self, tmp_path):
+        """The backend moves work, not meaning: identical documents out."""
+        results = {}
+        for name in BACKENDS:
+            cache = ProfileCache(root=str(tmp_path / f"cache-{name}"))
+            backend = make_backend(name, cache, workers=1)
+            try:
+                outcome = backend.run(Job(id=1, kind="source", payload=_source_payload()))
+            finally:
+                backend.shutdown()
+            assert not isinstance(outcome, FailedOutcome)
+            result, info = outcome
+            assert info["profile_cache_hit"] is False
+            results[name] = canonical_json(strip_trace_timings(result))
+        assert results["thread"] == results["process"]
+
+    def test_process_service_matches_detect_json_bytes(self, process_service, tmp_path):
+        """Same acceptance bar the thread backend already meets: the daemon's
+        document is byte-identical to `detect --json --compact`, modulo
+        trace wall-clock timings."""
+        svc, client = process_service
+        path = tmp_path / "total.minic"
+        path.write_text(SRC)
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            assert main([
+                "detect", str(path), "--entry", "total", "--rand", "A:16",
+                "--scalar", "16", "--json", "--compact",
+                "--cache-dir", str(tmp_path / "cli-cache"),
+            ]) == 0
+        cli_doc = json.loads(buf.getvalue())
+
+        job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        record = client.wait(job["id"], timeout=120.0)
+        assert record["state"] == "done"
+        assert record["backend"] == "process"
+        assert canonical_json(strip_trace_timings(record["result"])) == \
+            canonical_json(strip_trace_timings(cli_doc))
+
+
+class TestProcessBackendBehavior:
+    def test_crash_becomes_failed_record_and_pool_survives(self, process_service):
+        svc, client = process_service
+        bad = client.submit_source("void f() { x = 1; }", entry="f")
+        record = client.wait(bad["id"], timeout=60.0)
+        assert record["state"] == "failed"
+        assert record["error"]["failed"] is True
+        assert record["error"]["error_type"] == "ValidationError"
+        assert record["error"]["schema_version"] == SCHEMA_VERSION
+        # the pool keeps serving after the failure
+        good = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        assert client.wait(good["id"], timeout=120.0)["state"] == "done"
+
+    def test_sigalrm_timeout_fires_for_source_jobs(self, process_service):
+        """The reason the process backend exists: per-job timeouts work
+        again because analysis runs on a worker process's main thread."""
+        svc, client = process_service
+        job = client.submit_source(
+            SLOW_SRC, entry="mm", args=SLOW_ARGS, timeout=0.2
+        )
+        record = client.wait(job["id"], timeout=120.0)
+        assert record["state"] == "failed"
+        assert record["error"]["error_type"] == "AnalysisTimeout"
+
+    def test_worker_cache_stats_reach_daemon_metrics(self, process_service):
+        """A worker's cache counters cross the process boundary with the
+        result and land in the daemon's stats + registry."""
+        svc, client = process_service
+        cold = client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=5)
+        client.wait(cold["id"], timeout=120.0)
+        stats = client.stats()
+        assert stats["backend"] == "process"
+        assert stats["cache"]["misses"] >= 1
+        assert stats["cache"]["stores"] >= 1
+        # warm repeat reports the hit even though it ran in another process
+        warm = client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=5)
+        record = client.wait(warm["id"], timeout=120.0)
+        assert record["info"]["profile_cache_hit"] is True
+        assert client.stats()["cache"]["hits"] >= 1
+
+    def test_broken_pool_degrades_to_in_thread_execution(self, tmp_path):
+        from concurrent.futures.process import BrokenProcessPool
+
+        cache = ProfileCache(root=str(tmp_path / "cache"))
+        backend = ProcessBackend(cache, workers=1)
+        try:
+            def explode(job, queue_wait_s):
+                raise BrokenProcessPool("pool died under the job")
+
+            backend._submit = explode
+            outcome = backend.run(Job(id=1, kind="source", payload=_source_payload()))
+            assert not isinstance(outcome, FailedOutcome)
+            result, info = outcome
+            assert info["backend_degraded"] is True
+            assert backend.degraded == 1
+            assert result["schema_version"] == SCHEMA_VERSION
+        finally:
+            backend.shutdown()
+
+
+class TestExecuteJob:
+    def test_never_raises_returns_failed_outcome(self, tmp_path):
+        cache = ProfileCache(root=str(tmp_path / "cache"))
+        outcome = execute_job(
+            "source", {"source": "void f() { x = 1; }", "entry": "f"}, cache
+        )
+        assert isinstance(outcome, FailedOutcome)
+        assert outcome.to_dict()["error_type"] == "ValidationError"
+
+    def test_payload_retries_override_defaults(self, tmp_path):
+        cache = ProfileCache(root=str(tmp_path / "cache"))
+        outcome = execute_job(
+            "source",
+            {"source": "void f() { x = 1; }", "entry": "f", "retries": 2},
+            cache,
+            backoff=0.01,
+        )
+        assert outcome.to_dict()["attempts"] == 3

@@ -1,0 +1,241 @@
+"""Restart durability: sqlite-backed stores survive daemon death."""
+
+import threading
+
+import pytest
+
+from repro.profiling.serialize import canonical_json
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobStore
+from repro.service.server import AnalysisService
+from repro.service.store import SqliteJobLog
+
+SRC = """\
+float total(float A[], int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += A[i];
+    }
+    return s;
+}
+"""
+
+SRC_ARGS = [["rand", "A:16"], ["scalar", "16"]]
+
+
+class TestSqliteJobLog:
+    def test_write_after_close_counts_as_error(self, tmp_path):
+        log = SqliteJobLog(str(tmp_path / "jobs.sqlite"))
+        store = JobStore(db_path=str(tmp_path / "other.sqlite"))
+        job = store.submit("bench", {"name": "x"})
+        log.close()
+        assert log.closed
+        log.upsert(job)
+        log.delete(job.id)
+        assert log.errors == 2
+        with pytest.raises(RuntimeError, match="closed"):
+            log.load_rows()
+
+    def test_rows_round_trip_documents(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        store = JobStore(db_path=db)
+        job = store.submit("bench", {"name": "x"}, correlation_id="corr-1")
+        store.claim(timeout=0.1)
+        store.finish(job.id, {"nested": {"doc": [1, 2.5, "three"]}}, info={"k": 1})
+        store.dispose()
+        rows = SqliteJobLog(db).load_rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["state"] == "done"
+        assert row["result"] == {"nested": {"doc": [1, 2.5, "three"]}}
+        assert row["info"]["k"] == 1
+        assert row["correlation_id"] == "corr-1"
+        assert row["digest"] == job.digest
+
+
+class TestStoreRestart:
+    def test_interrupted_jobs_reenqueue_and_terminal_results_survive(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        first = JobStore(db_path=db)
+        done = first.submit("bench", {"name": "a"})
+        first.claim(timeout=0.1)
+        first.finish(done.id, {"kept": True})
+        running = first.submit("bench", {"name": "b"})
+        first.claim(timeout=0.1)  # running when the daemon "dies"
+        queued = first.submit("bench", {"name": "c"})
+        first.dispose()
+
+        second = JobStore(db_path=db)
+        # terminal result came back whole, served warm
+        assert second.get(done.id).state == "done"
+        assert second.get(done.id).result == {"kept": True}
+        assert "recovered" not in second.get(done.id).info
+        # both interrupted jobs are queued again and marked recovered
+        for job_id in (running.id, queued.id):
+            job = second.get(job_id)
+            assert job.state == "queued"
+            assert job.info["recovered"] is True
+            assert job.started_at is None
+        assert second.counts()["recovered"] == 2
+        # the queue actually hands them out, oldest first
+        assert second.claim(timeout=0.1).id == running.id
+        assert second.claim(timeout=0.1).id == queued.id
+        second.dispose()
+
+    def test_ids_stay_monotonic_across_restart(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        first = JobStore(db_path=db)
+        old = first.submit("bench", {"name": "a"})
+        first.dispose()
+        second = JobStore(db_path=db)
+        new = second.submit("bench", {"name": "b"})
+        assert new.id > old.id
+        second.dispose()
+
+    def test_follower_links_survive_restart(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        first = JobStore(db_path=db)
+        leader = first.submit("bench", {"name": "a"})
+        follower = first.submit("bench", {"name": "a"})
+        assert follower.coalesced_with == leader.id
+        first.dispose()
+
+        second = JobStore(db_path=db)
+        # the follower is still attached: completing the leader resolves both
+        assert second.get(follower.id).coalesced_with == leader.id
+        claimed = second.claim(timeout=0.1)
+        assert claimed.id == leader.id
+        second.finish(leader.id, {"ok": 1})
+        assert second.get(follower.id).state == "done"
+        assert second.get(follower.id).result == {"ok": 1}
+        # and the follower never entered the queue
+        assert second.claim(timeout=0.05) is None
+        second.dispose()
+
+    def test_follower_stays_attached_when_leader_interrupted_running(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        first = JobStore(db_path=db)
+        leader = first.submit("bench", {"name": "a"})
+        follower = first.submit("bench", {"name": "a"})
+        first.claim(timeout=0.1)  # leader running when the daemon dies
+        first.dispose()
+        second = JobStore(db_path=db)
+        # the interrupted leader is queued again and the follower is still
+        # riding on it — the shared work runs once, for both
+        assert second.get(leader.id).state == "queued"
+        assert second.get(follower.id).coalesced_with == leader.id
+        second.claim(timeout=0.1)
+        second.finish(leader.id, {"ok": 2})
+        assert second.get(follower.id).state == "done"
+        second.dispose()
+
+    def test_cancel_requested_interrupted_job_restores_cancelled(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        first = JobStore(db_path=db)
+        job = first.submit("bench", {"name": "a"})
+        first.claim(timeout=0.1)
+        first.cancel(job.id)  # cooperative: cancel_requested, still running
+        first.dispose()
+        second = JobStore(db_path=db)
+        # the dead daemon never recorded the completion; restart grants it
+        assert second.get(job.id).state == "cancelled"
+        assert second.claim(timeout=0.05) is None
+        second.dispose()
+
+    def test_restore_respects_history_bound(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        first = JobStore(db_path=db)
+        ids = []
+        for n in range(4):
+            job = first.submit("bench", {"name": f"n{n}"})
+            first.claim(timeout=0.1)
+            first.finish(job.id, None)
+            ids.append(job.id)
+        first.dispose()
+        second = JobStore(db_path=db, max_history=2)
+        assert second.get(ids[0]) is None and second.get(ids[1]) is None
+        assert second.get(ids[2]) is not None and second.get(ids[3]) is not None
+        second.dispose()
+
+
+class TestServiceRestart:
+    def _start_http_only(self, svc):
+        """Serve HTTP with the workers parked — jobs queue but never run."""
+        thread = threading.Thread(
+            target=svc.httpd.serve_forever, kwargs={"poll_interval": 0.2}, daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _kill(self, svc):
+        """Abrupt daemon death: close the socket and freeze the sqlite
+        state mid-queue — no draining, no graceful completion."""
+        svc.httpd.shutdown()
+        svc.httpd.server_close()
+        svc.store.dispose()
+
+    def test_killed_daemon_mid_queue_reruns_interrupted_jobs(self, tmp_path):
+        """The ISSUE's restart-durability acceptance: kill the daemon with
+        accepted-but-unfinished jobs, restart on the same sqlite path, and
+        watch the work complete."""
+        db = str(tmp_path / "jobs.sqlite")
+        first = AnalysisService(
+            port=0, workers=1, cache_dir=str(tmp_path / "cache"), db_path=db
+        )
+        self._start_http_only(first)
+        client = ServiceClient(first.url)
+        client.wait_healthy(timeout=5.0)
+        submitted = [
+            client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=seed)
+            for seed in range(3)
+        ]
+        assert all(r["state"] == "queued" for r in submitted)
+        self._kill(first)
+
+        second = AnalysisService(
+            port=0, workers=2, cache_dir=str(tmp_path / "cache"), db_path=db
+        )
+        second.start_background()
+        try:
+            assert second.store.recovered == 3
+            client2 = ServiceClient(second.url)
+            client2.wait_healthy(timeout=5.0)
+            for record in submitted:
+                final = client2.wait(record["id"], timeout=120.0)
+                assert final["state"] == "done"
+                assert final["info"]["recovered"] is True
+                assert final["result"]["schema_version"] is not None
+        finally:
+            second.shutdown()
+
+    def test_terminal_results_served_warm_without_reexecution(self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        first = AnalysisService(
+            port=0, workers=1, cache_dir=str(tmp_path / "cache"), db_path=db
+        )
+        first.start_background()
+        client = ServiceClient(first.url)
+        client.wait_healthy(timeout=5.0)
+        job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+        done = client.wait(job["id"], timeout=120.0)
+        assert done["state"] == "done"
+        first.shutdown()  # clean shutdown persists the terminal row
+
+        second = AnalysisService(
+            port=0, workers=1, cache_dir=str(tmp_path / "cache"), db_path=db
+        )
+        second.start_background()
+        try:
+            client2 = ServiceClient(second.url)
+            client2.wait_healthy(timeout=5.0)
+            warm = client2.job(job["id"])
+            assert warm["state"] == "done"
+            # byte-identical result document, no re-execution: the new
+            # daemon has run zero jobs and the record kept its timestamps
+            assert canonical_json(warm["result"]) == canonical_json(done["result"])
+            assert warm["started_at"] == done["started_at"]
+            assert warm["finished_at"] == done["finished_at"]
+            assert second.store.counts()["states"]["running"] == 0
+            assert second.store.recovered == 0
+        finally:
+            second.shutdown()

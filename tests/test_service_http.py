@@ -146,19 +146,20 @@ class TestRoundTrip:
         assert record["info"]["profile_cache_hit"] is True
         assert client.stats()["cache"]["hits"] >= 1
 
-    def test_eight_concurrent_submissions(self, client):
+    def test_eight_concurrent_distinct_submissions(self, client):
         """≥ 8 concurrent clients saturate the 2-worker pool; every job
-        completes and the worker bound holds."""
+        completes and the worker bound holds.  Distinct seeds give each
+        submission its own digest, so nothing coalesces — all 8 run."""
         records, errors = [], []
 
-        def one():
+        def one(seed):
             try:
-                job = client.submit_source(SRC, entry="total", args=SRC_ARGS)
+                job = client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=seed)
                 records.append(client.wait(job["id"], timeout=120.0))
             except Exception as exc:  # surfaced below
                 errors.append(exc)
 
-        threads = [threading.Thread(target=one) for _ in range(8)]
+        threads = [threading.Thread(target=one, args=(seed,)) for seed in range(8)]
         for t in threads:
             t.start()
         for t in threads:
@@ -166,6 +167,65 @@ class TestRoundTrip:
         assert not errors
         assert len(records) == 8
         assert all(r["state"] == "done" for r in records)
+        assert len({r["digest"] for r in records}) == 8
+
+    def test_eight_concurrent_identical_submissions_coalesce(self, tmp_path):
+        """8 concurrent identical submits → exactly 1 execution, 8 results,
+        byte-identity across all 8 (the ISSUE's coalescing acceptance).
+
+        The HTTP loop runs but the workers stay parked until the whole
+        burst has landed, so every submission provably arrives while the
+        leader is still in flight — no timing luck involved."""
+        svc = AnalysisService(port=0, workers=2, cache_dir=str(tmp_path / "cache"))
+        http_thread = threading.Thread(
+            target=svc.httpd.serve_forever, kwargs={"poll_interval": 0.2}, daemon=True
+        )
+        http_thread.start()
+        try:
+            client = ServiceClient(svc.url)
+            client.wait_healthy(timeout=5.0)
+            before = client.metrics()
+            records, errors = [], []
+
+            def one():
+                try:
+                    records.append(
+                        client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=77)
+                    )
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=one) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert not errors and len(records) == 8
+
+            svc.executor.start()  # now let the pool drain the burst
+            finals = [client.wait(r["id"], timeout=120.0) for r in records]
+            assert all(r["state"] == "done" for r in finals)
+            # exactly one leader executed; the other seven attached to it
+            leaders = [r for r in finals if r["coalesced_with"] is None]
+            followers = [r for r in finals if r["coalesced_with"] is not None]
+            assert len(leaders) == 1 and len(followers) == 7
+            assert all(f["coalesced_with"] == leaders[0]["id"] for f in followers)
+            assert len({r["digest"] for r in finals}) == 1
+            # all eight carry byte-identical result documents
+            full = [client.job(r["id"])["result"] for r in finals]
+            assert len({canonical_json(doc) for doc in full}) == 1
+            # metrics: 7 coalesced submissions, exactly 1 execution
+            after = client.metrics()
+            coalesced = _metric_value(
+                after, "repro_jobs_coalesced_total"
+            ) - _metric_value(before, "repro_jobs_coalesced_total")
+            assert coalesced == 7
+            runs = _metric_value(
+                after, 'repro_job_run_seconds_count{kind="source"}'
+            ) - _metric_value(before, 'repro_job_run_seconds_count{kind="source"}')
+            assert runs == 1
+        finally:
+            svc.shutdown()
 
     def test_bench_submission_matches_table3(self, client):
         record = client.wait(client.submit_benchmark("reg_detect")["id"], timeout=120.0)
@@ -280,6 +340,119 @@ class TestListing:
         failed = client.jobs(state="failed")
         assert failed_job["id"] in {r["id"] for r in failed}
         assert all(r["state"] == "failed" for r in failed)
+
+    def test_limit_returns_newest_first(self, client):
+        ids = []
+        for seed in range(3):
+            job = client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=seed)
+            client.wait(job["id"], timeout=60.0)
+            ids.append(job["id"])
+        newest_two = client.jobs(limit=2)
+        assert [r["id"] for r in newest_two] == [ids[-1], ids[-2]]
+
+    def test_limit_validation(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client._request("GET", "/v1/jobs?limit=banana")
+        assert exc.value.status == 400
+
+
+class TestValidation:
+    def test_sweep_unknown_names_rejected_at_submission(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit_sweep(names=["reg_detect", "no_such_benchmark"])
+        assert exc.value.status == 400
+        assert "no_such_benchmark" in exc.value.message
+
+    def test_sweep_malformed_names_rejected(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit_sweep(names=[42])  # type: ignore[list-item]
+        assert exc.value.status == 400
+
+    def test_handler_bug_returns_json_500_not_html(self, service, client, monkeypatch):
+        # break one endpoint from the outside; the catch-all must answer
+        # with the service's JSON error shape, never http.server's HTML page
+        def boom():
+            raise RuntimeError("stats exploded")
+
+        monkeypatch.setattr(service, "stats", boom)
+        with pytest.raises(ServiceError) as exc:
+            client.stats()
+        assert exc.value.status == 500
+        assert "internal error" in exc.value.message
+        assert "stats exploded" in exc.value.message
+        # the daemon keeps serving other routes afterwards
+        assert client.health()["status"] == "ok"
+
+
+class TestAdmissionControl:
+    @pytest.fixture
+    def bounded(self, tmp_path):
+        svc = AnalysisService(
+            port=0, workers=1, cache_dir=str(tmp_path / "cache"), max_queue=1
+        )
+        svc.start_background()
+        try:
+            client = ServiceClient(svc.url, retry_limit=0)
+            client.wait_healthy(timeout=5.0)
+            yield svc, client
+        finally:
+            svc.shutdown()
+
+    def _saturate(self, client):
+        """Fill the 1-worker/1-slot daemon: one running, one queued."""
+        import time as _time
+
+        running = client.submit_source(SLOW_SRC, entry="mm", args=SLOW_ARGS, seed=201)
+        deadline = _time.monotonic() + 30.0
+        while client.job(running["id"])["state"] != "running":
+            assert _time.monotonic() < deadline, "job never started running"
+            _time.sleep(0.02)
+        queued = client.submit_source(SLOW_SRC, entry="mm", args=SLOW_ARGS, seed=202)
+        return running, queued
+
+    def test_full_queue_answers_429_with_retry_after(self, bounded):
+        svc, client = bounded
+        self._saturate(client)
+        with pytest.raises(ServiceError) as exc:
+            client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=203)
+        assert exc.value.status == 429
+        assert exc.value.retry_after is not None and exc.value.retry_after >= 1
+        stats = client.stats()
+        assert stats["admission"]["max_queue"] == 1
+        assert stats["admission"]["rejected"] >= 1
+        assert stats["jobs"]["rejected"] >= 1
+
+    def test_coalesced_submission_bypasses_full_queue(self, bounded):
+        svc, client = bounded
+        _, queued = self._saturate(client)
+        follower = client.submit_source(
+            SLOW_SRC, entry="mm", args=SLOW_ARGS, seed=202
+        )
+        assert follower["coalesced_with"] == queued["id"]
+
+    def test_client_honors_retry_after_and_recovers(self, bounded):
+        svc, client = bounded
+        _, queued = self._saturate(client)
+        # free the queue slot shortly after the first 429
+        threading.Timer(0.3, lambda: client.cancel(queued["id"])).start()
+        retrying = ServiceClient(
+            svc.url, retry_limit=10, retry_after_cap=0.2, client_id="retrier"
+        )
+        record = retrying.submit_source(SRC, entry="total", args=SRC_ARGS, seed=204)
+        assert record["state"] == "queued"
+        clients = client.stats()["clients"]
+        assert clients["retrier"]["rejected"] >= 1
+        assert clients["retrier"]["accepted"] == 1
+
+    def test_per_client_accounting_in_stats_and_metrics(self, bounded):
+        svc, client = bounded
+        named = ServiceClient(svc.url, client_id="alice")
+        job = named.submit_source(SRC, entry="total", args=SRC_ARGS, seed=205)
+        named.wait(job["id"], timeout=60.0)
+        tallies = named.stats()["clients"]["alice"]
+        assert tallies["accepted"] == 1
+        text = named.metrics()
+        assert 'repro_client_requests_total{client="alice",outcome="accepted"}' in text
 
 
 class TestCliCommands:

@@ -14,7 +14,13 @@ from repro.patterns.schema import (
     validate_job_record,
 )
 from repro.service.executor import AnalysisExecutor
-from repro.service.jobs import Job, JobStore, build_call_args
+from repro.service.jobs import (
+    Job,
+    JobStore,
+    QueueFull,
+    build_call_args,
+    job_digest,
+)
 
 SRC = """\
 float total(float A[], int n) {
@@ -124,12 +130,13 @@ class TestJobStore:
 
     def test_history_bound_spares_live_jobs(self):
         # only terminal jobs count against max_history; a job still running
-        # survives any number of evictions around it
+        # survives any number of evictions around it (distinct names so the
+        # later submissions don't coalesce onto the running one)
         store = JobStore(max_history=1)
         live = store.submit("bench", {"name": "x"})
         store.claim(timeout=0.1)  # `live` is now running
-        for _ in range(3):
-            job = store.submit("bench", {"name": "x"})
+        for n in range(3):
+            job = store.submit("bench", {"name": f"y{n}"})
             store.claim(timeout=0.1)
             store.finish(job.id, None)
         assert store.get(live.id).state == "running"
@@ -183,12 +190,193 @@ class TestJobStore:
             store.submit("bench", {"name": "x"})
 
 
+class TestJobDigest:
+    def test_identical_submissions_share_a_digest(self):
+        assert job_digest("bench", {"name": "x"}) == job_digest("bench", {"name": "x"})
+        assert job_digest("bench", {"name": "x"}) != job_digest("bench", {"name": "y"})
+
+    def test_kind_is_part_of_the_address(self):
+        assert job_digest("bench", {"name": "x"}) != job_digest("sweep", {"name": "x"})
+
+    def test_source_digest_tracks_inputs_and_threshold(self):
+        base = _source_payload()
+        assert job_digest("source", base) == job_digest("source", dict(base))
+        assert job_digest("source", base) != job_digest("source", {**base, "seed": 1})
+        assert job_digest("source", base) != job_digest(
+            "source", {**base, "threshold": 0.5}
+        )
+
+    def test_malformed_args_raise_at_digest_time(self):
+        with pytest.raises(ValueError, match="unknown argument kind"):
+            job_digest("source", {**_source_payload(), "args": [["ones", "A:4"]]})
+
+
+class TestCoalescing:
+    def test_identical_inflight_submission_becomes_follower(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        follower = store.submit("bench", {"name": "x"})
+        assert follower.coalesced_with == leader.id
+        assert follower.digest == leader.digest
+        assert store.counts()["coalesced"] == 1
+        # the follower never enters the queue
+        assert store.claim(timeout=0.1).id == leader.id
+        assert store.claim(timeout=0.05) is None
+
+    def test_followers_receive_the_leaders_result(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        followers = [store.submit("bench", {"name": "x"}) for _ in range(3)]
+        store.claim(timeout=0.1)
+        result = {"the": "document"}
+        store.finish(leader.id, result)
+        for f in followers:
+            record = store.get(f.id)
+            assert record.state == "done"
+            # the same object — byte-identity is structural
+            assert record.result is result
+
+    def test_followers_receive_the_leaders_failure(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        follower = store.submit("bench", {"name": "x"})
+        store.claim(timeout=0.1)
+        store.fail(leader.id, {"failed": True, "error_type": "Boom"})
+        assert store.get(follower.id).state == "failed"
+        assert store.get(follower.id).error["error_type"] == "Boom"
+
+    def test_terminal_leader_does_not_absorb_new_submissions(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        store.claim(timeout=0.1)
+        store.finish(leader.id, {"ok": 1})
+        again = store.submit("bench", {"name": "x"})
+        assert again.coalesced_with is None
+        assert store.claim(timeout=0.1).id == again.id
+
+    def test_cancelling_a_follower_detaches_only_it(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        follower = store.submit("bench", {"name": "x"})
+        keeper = store.submit("bench", {"name": "x"})
+        store.cancel(follower.id)
+        assert store.get(follower.id).state == "cancelled"
+        store.claim(timeout=0.1)
+        store.finish(leader.id, {"ok": 1})
+        assert store.get(follower.id).state == "cancelled"
+        assert store.get(keeper.id).state == "done"
+
+    def test_cancelling_a_queued_leader_promotes_oldest_follower(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        first = store.submit("bench", {"name": "x"})
+        second = store.submit("bench", {"name": "x"})
+        store.cancel(leader.id)
+        assert store.get(leader.id).state == "cancelled"
+        promoted = store.get(first.id)
+        assert promoted.coalesced_with is None
+        assert store.get(second.id).coalesced_with == first.id
+        claimed = store.claim(timeout=0.1)
+        assert claimed.id == first.id
+        store.finish(first.id, {"ok": 1})
+        assert store.get(second.id).state == "done"
+
+    def test_cancel_requested_leader_rejects_new_followers(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        store.claim(timeout=0.1)
+        store.cancel(leader.id)  # cooperative — still running
+        fresh = store.submit("bench", {"name": "x"})
+        assert fresh.coalesced_with is None
+
+    def test_followers_get_real_outcome_when_leader_cancelled_midrun(self):
+        store = JobStore()
+        leader = store.submit("bench", {"name": "x"})
+        follower = store.submit("bench", {"name": "x"})
+        store.claim(timeout=0.1)
+        store.cancel(leader.id)
+        result = {"computed": "anyway"}
+        store.finish(leader.id, result)
+        # the canceller's record discards; the follower keeps the work
+        assert store.get(leader.id).state == "cancelled"
+        assert store.get(follower.id).state == "done"
+        assert store.get(follower.id).result is result
+
+    def test_coalescing_can_be_disabled(self):
+        store = JobStore(coalesce=False)
+        store.submit("bench", {"name": "x"})
+        second = store.submit("bench", {"name": "x"})
+        assert second.coalesced_with is None
+        assert store.counts()["coalesced"] == 0
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_submission(self):
+        store = JobStore(max_queue=2)
+        store.submit("bench", {"name": "a"})
+        store.submit("bench", {"name": "b"})
+        with pytest.raises(QueueFull) as exc_info:
+            store.submit("bench", {"name": "c"})
+        assert exc_info.value.depth == 2
+        assert store.counts()["rejected"] == 1
+
+    def test_followers_bypass_the_bound(self):
+        store = JobStore(max_queue=1)
+        store.submit("bench", {"name": "a"})
+        # identical work adds no load — coalesced even at the bound
+        follower = store.submit("bench", {"name": "a"})
+        assert follower.coalesced_with is not None
+
+    def test_draining_reopens_admission(self):
+        store = JobStore(max_queue=1)
+        job = store.submit("bench", {"name": "a"})
+        with pytest.raises(QueueFull):
+            store.submit("bench", {"name": "b"})
+        store.claim(timeout=0.1)  # running no longer counts as queued
+        accepted = store.submit("bench", {"name": "b"})
+        assert accepted.state == "queued"
+        store.finish(job.id, None)
+
+
+class TestListLimit:
+    def test_limit_returns_newest_first(self):
+        store = JobStore()
+        ids = [store.submit("bench", {"name": f"n{i}"}).id for i in range(5)]
+        newest_two = store.list_jobs(limit=2)
+        assert [j.id for j in newest_two] == [ids[-1], ids[-2]]
+        # unlimited stays oldest-first (unchanged behavior)
+        assert [j.id for j in store.list_jobs()] == ids
+
+    def test_limit_composes_with_filters(self):
+        store = JobStore()
+        store.submit("bench", {"name": "a"})
+        store.submit("sweep", {"names": ["a"]})
+        b = store.submit("bench", {"name": "b"})
+        assert [j.id for j in store.list_jobs(kind="bench", limit=1)] == [b.id]
+
+    def test_limit_zero_is_empty(self):
+        store = JobStore()
+        store.submit("bench", {"name": "a"})
+        assert store.list_jobs(limit=0) == []
+
+
 class TestJobRecordEnvelope:
     def test_round_trip(self):
         doc = Job(id=3, kind="bench", payload={"name": "fib"}).to_dict()
         assert doc["schema_version"] == SCHEMA_VERSION
         assert doc["record"] == "job"
         assert validate_job_record(doc) is doc
+        # provenance fields ride in the envelope with safe defaults
+        assert doc["digest"] == ""
+        assert doc["coalesced_with"] is None
+        assert doc["backend"] == "thread"
+
+    def test_rejects_malformed_provenance_fields(self):
+        good = Job(id=1, kind="bench", payload={}).to_dict()
+        with pytest.raises(ValueError, match="coalesced_with"):
+            validate_job_record({**good, "coalesced_with": "seven"})
+        with pytest.raises(ValueError, match="digest"):
+            validate_job_record({**good, "digest": 123})
 
     def test_rejects_bad_version_state_and_kind(self):
         good = Job(id=1, kind="bench", payload={}).to_dict()
@@ -295,7 +483,11 @@ class TestExecutor:
     def test_saturation_respects_worker_bound(self, tmp_path):
         store, executor = self._executor(tmp_path, workers=2)
         try:
-            jobs = [store.submit("source", _source_payload()) for _ in range(8)]
+            # distinct seeds give distinct digests — all eight really run
+            jobs = [
+                store.submit("source", {**_source_payload(), "seed": n})
+                for n in range(8)
+            ]
             records = [self._wait_terminal(store, job.id) for job in jobs]
             assert all(job.state == "done" for job in records)
             assert executor.peak_busy <= 2
