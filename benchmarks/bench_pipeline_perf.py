@@ -22,7 +22,13 @@ live versus :func:`repro.obs.metrics.set_enabled` off, against a <5%
 budget (negative measurements are clamped to zero and reported as the
 ``noise_floor_pct`` instead) — and an **engine_compare** section timing
 the full profiling sweep through the compiled closure engine against the
-tree-walking reference and asserting their profile digests agree.
+tree-walking reference and asserting their profile digests agree — and a
+**campaign_overhead** section pricing the experiment-campaign harness:
+the harness's warm sweep — a digest-keyed rerun of a completed
+default-grid campaign, which performs zero service calls — against the
+same warm sweep through ``analyze_registry`` directly, with a <10%
+overhead budget, plus the unbudgeted one-time cost of populating the
+store through the daemon (``service_pass_overhead_pct``).
 
 Results go to ``benchmarks/output/BENCH_pipeline.json`` together with the
 recorded pre-PR baseline, so the speedup is measured against a fixed
@@ -190,6 +196,81 @@ def _service_scale(n: int = 8) -> dict:
     }
 
 
+def _campaign_overhead() -> dict:
+    """The campaign harness's warm sweep vs a direct warm sweep.
+
+    The campaign runner's warm path is the digest-keyed store: an
+    identical rerun of a completed campaign re-emits every stored result
+    without touching the service — zero submissions, zero profile runs
+    (both asserted).  That rerun is what repeated sweeps actually cost
+    once the harness is in place, and it carries the <10% budget against
+    a direct warm ``analyze_registry`` sweep (in practice it is ~1000x
+    *cheaper* — milliseconds of sqlite reads vs re-running detection).
+
+    The first pass — the one that populates the store through the daemon
+    — is reported alongside as ``service_pass_overhead_pct``: the real
+    price of HTTP round-trips, job bookkeeping, and sqlite writes over
+    the same warm profile cache (best-of-3 on both sides; unbudgeted,
+    since on a 1-cpu container it is dominated by the daemon's fixed
+    per-job cost, and it is paid once per new cell, not per sweep).
+    """
+    from repro.campaign import CampaignStore, default_grid, run_campaign
+    from repro.runtime.parallel import analyze_registry
+    from repro.service.client import ServiceClient
+    from repro.service.server import AnalysisService
+
+    budget_pct = 10.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as tmp:
+        cache_dir = f"{tmp}/cache"
+        analyze_registry(parallel=False, cache_dir=cache_dir)  # populate
+        direct_s = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            analyze_registry(parallel=False, cache_dir=cache_dir)
+            direct_s.append(time.perf_counter() - t0)
+
+        service = AnalysisService(port=0, workers=2, cache_dir=cache_dir)
+        service.start_background()
+        try:
+            client = ServiceClient(service.url)
+            client.wait_healthy(timeout=10.0)
+            cells = default_grid()
+            first_s = []
+            for attempt in range(3):
+                # a fresh store per attempt: digests in an existing store
+                # would short-circuit the service pass being measured
+                with CampaignStore(f"{tmp}/campaigns-{attempt}.sqlite") as store:
+                    t0 = time.perf_counter()
+                    first = run_campaign(store, client, "bench", cells, poll=0.01)
+                    first_s.append(time.perf_counter() - t0)
+                    assert first["submitted"] == len(cells), first
+
+                    if attempt == 2:  # rerun against the last populated store
+                        misses = service.executor.cache.stats.misses
+                        t0 = time.perf_counter()
+                        rerun = run_campaign(store, client, "bench", cells)
+                        rerun_s = time.perf_counter() - t0
+                        assert rerun["submitted"] == 0, rerun
+                        assert service.executor.cache.stats.misses == misses
+        finally:
+            service.shutdown()
+
+    direct_best, first_best = min(direct_s), min(first_s)
+    overhead_pct = 100.0 * (rerun_s - direct_best) / direct_best
+    return {
+        "cells": len(cells),
+        "direct_warm_s": round(direct_best, 4),
+        "campaign_service_s": round(first_best, 4),
+        "campaign_warm_s": round(rerun_s, 4),
+        "service_pass_overhead_pct": round(
+            100.0 * (first_best - direct_best) / direct_best, 2
+        ),
+        "overhead_pct": round(overhead_pct, 2),
+        "budget_pct": budget_pct,
+        "within_budget": overhead_pct < budget_pct,
+    }
+
+
 def _stage_times() -> tuple[dict, dict]:
     """Per-stage and per-program wall clock over the whole registry.
 
@@ -352,11 +433,13 @@ def main() -> int:
     stages, programs = _stage_times()
     engines = _engine_compare()
     obs = _obs_overhead()
+    campaign = _campaign_overhead()
     report = {
         "baseline": BASELINE,
         "commit": _git_commit(),
         "service_mode": _service_mode(),
         "service_scale": _service_scale(),
+        "campaign_overhead": campaign,
         "obs_overhead": obs,
         "engine_compare": engines,
         "optimized": e2e,
@@ -393,7 +476,22 @@ def main() -> int:
         f"thread {scale['thread_s']:.2f}s vs process {scale['process_s']:.2f}s "
         f"({scale['process_speedup']:.2f}x)"
     )
-    return 0 if best >= 2.0 and obs["within_budget"] and engines["digests_identical"] else 1
+    print(
+        f"campaign overhead ({campaign['cells']} cells): digest-keyed warm "
+        f"sweep {campaign['campaign_warm_s']*1000:.1f}ms vs direct "
+        f"{campaign['direct_warm_s']:.2f}s ({campaign['overhead_pct']:+.1f}%, "
+        f"budget {campaign['budget_pct']:.0f}%); one-time service pass "
+        f"{campaign['campaign_service_s']:.2f}s "
+        f"({campaign['service_pass_overhead_pct']:+.1f}%)"
+    )
+    return (
+        0
+        if best >= 2.0
+        and obs["within_budget"]
+        and engines["digests_identical"]
+        and campaign["within_budget"]
+        else 1
+    )
 
 
 if __name__ == "__main__":

@@ -12,8 +12,8 @@ result matches the registry's expected detection label plus the
 simulated speedup fields — the same facts ``repro table3`` prints —
 then checks `/v1/version` and `/v1/stats` coherence.
 
-``--mode restart`` and ``--mode saturation`` boot their own in-process
-daemons (no ``--url`` needed):
+``--mode restart``, ``--mode saturation``, and ``--mode campaign`` boot
+their own in-process daemons (no ``--url`` needed):
 
 * **restart** — submit jobs against a sqlite-backed daemon, kill it with
   the queue non-empty, restart on the same database, and assert the
@@ -21,6 +21,11 @@ daemons (no ``--url`` needed):
 * **saturation** — flood a ``--max-queue``-bounded daemon until it
   answers 429 + ``Retry-After``, then verify a retrying client still
   lands its work once the queue drains.
+* **campaign** — run an 8-cell (2 programs × 2 machine models × 2
+  detector thresholds) campaign end to end through the harness, assert
+  every cell lands in the results store, then rerun it and assert the
+  rerun is served entirely from digest-keyed warm results (zero
+  submissions, zero cold profile runs) and that its queries aggregate.
 
 Exit 0 on success.  Not collected by pytest (no ``test_`` prefix); the
 in-process equivalents live in ``tests/test_service_http.py`` and
@@ -192,10 +197,63 @@ def _mode_saturation(args, workdir: str) -> int:
     return 0
 
 
+def _mode_campaign(args, workdir: str) -> int:
+    """An 8-cell campaign end to end, plus the warm-rerun guarantee."""
+    from repro.campaign import CampaignStore, expand_grid, run_campaign
+    from repro.campaign.query import group_records, query_records, records_to_csv
+    from repro.service.client import ServiceClient
+    from repro.service.server import AnalysisService
+
+    svc = AnalysisService(port=0, workers=2, cache_dir=f"{workdir}/cache")
+    svc.start_background()
+    try:
+        client = ServiceClient(svc.url)
+        client.wait_healthy(timeout=args.startup_timeout)
+        cells = expand_grid(
+            ["gesummv", "sort"],
+            machines=("default", "slow_sync"),
+            thresholds=(None, 0.25),
+        )
+        assert len(cells) == 8, len(cells)
+        with CampaignStore(f"{workdir}/campaigns.sqlite") as store:
+            first = run_campaign(store, client, "smoke", cells)
+            assert first["submitted"] == 8 and first["failed"] == 0, first
+            assert store.status("smoke")["complete"], store.status("smoke")
+            print(f"campaign ran: {first['submitted']} cell(s) submitted")
+
+            misses = svc.executor.cache.stats.misses
+            second = run_campaign(store, client, "smoke", cells)
+            assert second["submitted"] == 0, second
+            assert second["reused_resume"] == 8, second
+            assert svc.executor.cache.stats.misses == misses, (
+                "rerun caused cold profile runs"
+            )
+            print("rerun served warm: 0 submissions, 0 cold profile runs")
+
+            records = query_records(store, campaign="smoke")
+            assert len(records) == 8 and all(
+                r["result"]["best_speedup"] > 0 for r in records
+            ), records
+            groups = group_records(records, ["machine"])
+            assert {g["machine"] for g in groups} == {"default", "slow_sync"}
+            assert all(g["geomean_speedup"] > 0 for g in groups), groups
+            csv_lines = records_to_csv(records).splitlines()
+            assert len(csv_lines) == 9, csv_lines  # header + 8 cells
+            print(
+                "OK: query/aggregation over 8 cells; geomeans "
+                + ", ".join(f"{g['machine']}={g['geomean_speedup']:.2f}x" for g in groups)
+            )
+    finally:
+        svc.shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument(
-        "--mode", choices=("basic", "restart", "saturation"), default="basic"
+        "--mode",
+        choices=("basic", "restart", "saturation", "campaign"),
+        default="basic",
     )
     parser.add_argument("--url", default=None, help="daemon address (basic mode)")
     parser.add_argument("--benchmark", default=BENCHMARK)
@@ -209,6 +267,8 @@ def main(argv: list[str] | None = None) -> int:
         with tempfile.TemporaryDirectory(prefix="repro-smoke-") as workdir:
             if args.mode == "restart":
                 code = _mode_restart(args, workdir)
+            elif args.mode == "campaign":
+                code = _mode_campaign(args, workdir)
             else:
                 code = _mode_saturation(args, workdir)
     print(f"{args.mode} smoke finished in {time.monotonic() - start:.1f}s")

@@ -116,3 +116,52 @@ def arg_sets_for(name: str, distributions: tuple[str, ...]) -> list[list]:
     """Argument sets for *name*, one per distribution."""
     factory = WORKLOADS[name]
     return [factory(d) for d in distributions]
+
+
+def scale_arg_sets(arg_sets: list[list], scale: float) -> list[list]:
+    """Deterministically rescale benchmark argument sets by *scale*.
+
+    The campaign harness's input-scale axis: every registry benchmark
+    builds its arguments as ndarrays plus integer extents naming their
+    dimensions (``[A(n,n), b(n), x(n), n]``).  This helper grows or
+    shrinks those problems without touching the generators:
+
+    * every ndarray dimension ``d`` maps to ``max(1, round(d * scale))``;
+      the scaled array is ``np.resize`` of the original (tile/truncate),
+      so content is a pure function of the original arg set — no RNG;
+    * every integer scalar **equal to some array dimension in the same
+      arg set** maps through the same dimension mapping (that is what
+      keeps ``n`` arguments consistent with their arrays);
+    * floats, booleans, and unrelated ints pass through unchanged.
+
+    ``scale == 1.0`` returns *arg_sets* unchanged (identity — the default
+    campaign cell stays byte-identical to the registry's own inputs).
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale!r}")
+    if scale == 1.0:
+        return arg_sets
+    scaled_sets = []
+    for arg_set in arg_sets:
+        dims = {
+            int(d)
+            for arg in arg_set
+            if isinstance(arg, np.ndarray)
+            for d in arg.shape
+        }
+        dim_map = {d: max(1, int(round(d * scale))) for d in dims}
+        scaled = []
+        for arg in arg_set:
+            if isinstance(arg, np.ndarray):
+                new_shape = tuple(dim_map[int(d)] for d in arg.shape)
+                scaled.append(np.resize(arg, new_shape))
+            elif (
+                isinstance(arg, (int, np.integer))
+                and not isinstance(arg, bool)
+                and int(arg) in dim_map
+            ):
+                scaled.append(type(arg)(dim_map[int(arg)]))
+            else:
+                scaled.append(arg)
+        scaled_sets.append(scaled)
+    return scaled_sets

@@ -1,0 +1,42 @@
+"""Experiment-campaign harness: systematic sweeps with a queryable store.
+
+The paper's evaluation is a handful of fixed tables produced by one-shot
+sweeps.  This package turns that into an engine (ROADMAP item 3): a
+campaign fans (program × machine-model × input-scale × detector-config)
+cells through the warm analysis service, persists every versioned outcome
+document into a WAL-sqlite results store content-addressed by the
+service's job digest, and exposes a query/aggregation layer (filter,
+group-by, geometric-mean speedups, regression deltas against a named
+baseline campaign) with CSV and text-report output.
+
+The pieces:
+
+:mod:`~repro.campaign.grid`
+    Cell definitions — the axes, named machine models, grid expansion,
+    and each cell's bench payload + content digest.
+:mod:`~repro.campaign.store`
+    :class:`~repro.campaign.store.CampaignStore` — the durable results
+    database (cells by campaign, result documents by digest).
+:mod:`~repro.campaign.runner`
+    :func:`~repro.campaign.runner.run_campaign` — executes a cell list
+    against a service, reusing digest-keyed stored results and resuming
+    interrupted campaigns.
+:mod:`~repro.campaign.query`
+    Filters, group-by aggregation, baseline comparison, CSV/table
+    rendering, and the Table III regeneration path
+    (``repro campaign query --table3``).
+
+Surfaced on the CLI as ``repro campaign run|status|query``; cookbook in
+``docs/campaigns.md``.
+"""
+
+from repro.campaign.grid import (  # noqa: F401
+    MACHINE_MODELS,
+    CampaignCell,
+    cell_digest,
+    cell_payload,
+    default_grid,
+    expand_grid,
+)
+from repro.campaign.runner import run_campaign  # noqa: F401
+from repro.campaign.store import CampaignStore, default_campaign_db  # noqa: F401

@@ -1,0 +1,147 @@
+"""Campaign cell grid: axes, named machine models, payloads, digests.
+
+A campaign is a list of :class:`CampaignCell` coordinates over four axes:
+
+* **program** — a registry benchmark name (``all_benchmarks()``);
+* **machine** — a *named* machine model from :data:`MACHINE_MODELS`,
+  expressed as overrides replaced onto the frozen
+  :data:`~repro.sim.machine.DEFAULT_MACHINE` (the simulator's calibration
+  stays frozen; campaigns explore *around* it, they never retune it);
+* **scale** — an input-scale factor applied by
+  :func:`repro.bench_programs.workloads.scale_arg_sets`;
+* **threshold** — the hotspot detector threshold (``None`` = the spec's
+  own default).
+
+Each cell maps to exactly the bench-job payload the analysis service
+already accepts (:func:`cell_payload`), and its content address is the
+service's own :func:`~repro.service.jobs.job_digest` over that payload
+(:func:`cell_digest`).  Default-valued axes are **omitted** from the
+payload, so the default cell's digest equals a plain
+``{"kind": "bench", "name": ...}`` submission's — results flow freely
+between campaign runs and ordinary service traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+#: Named machine models: overrides onto the frozen DEFAULT_MACHINE.
+#: ``default`` is the paper-calibrated model itself (empty overrides).
+MACHINE_MODELS: dict[str, dict[str, float]] = {
+    # the frozen Table III calibration
+    "default": {},
+    # cheap fork/join fabric: hardware barriers, near-free task spawn —
+    # the upper bound a fine-grained pattern could hope for
+    "fast_sync": {
+        "spawn_cost": 10.0,
+        "barrier_base": 10.0,
+        "barrier_per_thread": 2.0,
+        "task_overhead": 1.0,
+    },
+    # software barriers over a loaded interconnect: synchronization an
+    # order of magnitude dearer — punishes barrier-heavy geometric
+    # decomposition and fine-grained pipelines
+    "slow_sync": {
+        "spawn_cost": 300.0,
+        "barrier_base": 250.0,
+        "barrier_per_thread": 60.0,
+        "pipeline_sync": 100.0,
+    },
+    # a single memory controller: bandwidth saturates at two threads and
+    # streaming is pricier — stresses the roofline term
+    "bw_bound": {
+        "bw_saturation": 2,
+        "streaming_cost": 26.0,
+    },
+}
+
+#: Input-scale grid points campaigns sweep by default.
+DEFAULT_SCALES = (1.0,)
+
+#: Detector thresholds swept by default (None = each spec's own default).
+DEFAULT_THRESHOLDS: tuple[float | None, ...] = (None,)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (program × machine × scale × threshold) coordinate."""
+
+    program: str
+    machine: str = "default"
+    scale: float = 1.0
+    threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.machine not in MACHINE_MODELS:
+            raise ValueError(
+                f"unknown machine model {self.machine!r}; "
+                f"expected one of {sorted(MACHINE_MODELS)}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"scale must be > 0, got {self.scale!r}")
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable stable identity within a campaign."""
+        threshold = "spec" if self.threshold is None else f"{self.threshold:g}"
+        return f"{self.program}|{self.machine}|s{self.scale:g}|t{threshold}"
+
+
+def cell_payload(cell: CampaignCell) -> dict[str, Any]:
+    """The service bench-job payload this cell describes.
+
+    Default-valued axes are omitted, so the default cell's payload —
+    hence its digest — is identical to a plain benchmark submission's.
+    """
+    payload: dict[str, Any] = {"name": cell.program}
+    if cell.scale != 1.0:
+        payload["scale"] = cell.scale
+    if cell.threshold is not None:
+        payload["threshold"] = cell.threshold
+    overrides = MACHINE_MODELS[cell.machine]
+    if overrides:
+        payload["machine"] = dict(overrides)
+    return payload
+
+
+def cell_digest(cell: CampaignCell) -> str:
+    """The cell's content address: the service's own bench-job digest."""
+    from repro.service.jobs import job_digest
+
+    return job_digest("bench", cell_payload(cell))
+
+
+def expand_grid(
+    programs: Iterable[str],
+    machines: Iterable[str] = ("default",),
+    scales: Iterable[float] = DEFAULT_SCALES,
+    thresholds: Iterable[float | None] = DEFAULT_THRESHOLDS,
+) -> list[CampaignCell]:
+    """The full cross product, in deterministic campaign order.
+
+    Programs vary slowest (registry order is preserved for the default
+    axes — the property Table III regeneration relies on), then machine,
+    scale, threshold.
+    """
+    return [
+        CampaignCell(program=p, machine=m, scale=s, threshold=t)
+        for p in programs
+        for m in machines
+        for s in scales
+        for t in thresholds
+    ]
+
+
+def default_grid(
+    programs: Sequence[str] | None = None,
+    machines: Sequence[str] = ("default",),
+    scales: Sequence[float] = DEFAULT_SCALES,
+    thresholds: Sequence[float | None] = DEFAULT_THRESHOLDS,
+) -> list[CampaignCell]:
+    """Grid over the benchmark registry (all 17 programs when unnamed)."""
+    if programs is None:
+        from repro.bench_programs.registry import all_benchmarks
+
+        programs = [spec.name for spec in all_benchmarks()]
+    return expand_grid(programs, machines, scales, thresholds)

@@ -32,6 +32,14 @@ The service commands talk to the long-lived analysis daemon
     repro-patterns submit --bench NAME [--wait]        # queue a benchmark
     repro-patterns jobs [--state done]                 # list jobs
     repro-patterns result ID [--wait] [--json]         # fetch one result
+
+The campaign commands drive the experiment harness (``repro.campaign``,
+see ``docs/campaigns.md``)::
+
+    repro-patterns campaign run --name NAME [axes]     # execute a grid
+    repro-patterns campaign status [--name NAME]       # cell-state counts
+    repro-patterns campaign query [filters] [--csv]    # stored results
+    repro-patterns campaign query --name NAME --table3 # regenerate Table III
 """
 
 from __future__ import annotations
@@ -637,6 +645,212 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- campaign commands ---------------------------------------------------
+
+def _campaign_cells(args: argparse.Namespace):
+    """Expand the run's axis flags into the cell grid."""
+    from repro.campaign.grid import default_grid
+
+    thresholds = tuple(
+        None if t in ("spec", "none") else float(t) for t in args.thresholds
+    )
+    return default_grid(
+        programs=args.programs or None,
+        machines=tuple(args.machines),
+        scales=tuple(args.scales),
+        thresholds=thresholds,
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, run_campaign
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        cells = _campaign_cells(args)
+    except ValueError as exc:
+        print(f"campaign run: {exc}", file=sys.stderr)
+        return 2
+    store = CampaignStore(args.db)
+    service = None
+    try:
+        if args.url:
+            client = ServiceClient(args.url)
+        else:
+            # no daemon named: boot an embedded one for the run's duration
+            from repro.service.server import AnalysisService
+
+            service = AnalysisService(
+                port=0, workers=args.workers, cache_dir=args.cache_dir
+            )
+            service.start_background()
+            client = ServiceClient(service.url)
+        try:
+            client.wait_healthy(timeout=30.0)
+        except (ServiceError, OSError) as exc:
+            print(f"campaign run: cannot reach {client.url}: {exc}", file=sys.stderr)
+            return 1
+        summary = run_campaign(
+            store, client, args.name, cells, timeout=args.timeout
+        )
+    finally:
+        store.close()
+        if service is not None:
+            service.shutdown()
+    if args.json:
+        _print_doc(args, summary)
+    else:
+        print(
+            f"campaign {args.name!r}: {summary['cells']} cell(s) — "
+            f"{summary['submitted']} submitted, "
+            f"{summary['reused_store']} from store, "
+            f"{summary['reused_resume']} already done, "
+            f"{summary['failed']} failed"
+        )
+    return 1 if summary["failed"] else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore
+
+    store = CampaignStore(args.db)
+    try:
+        if args.name:
+            docs = [store.status(args.name)]
+        else:
+            docs = store.campaigns()
+    finally:
+        store.close()
+    if args.json:
+        _print_doc(args, docs if args.name is None else docs[0])
+        return 0
+    if not docs or docs == [{"campaign": args.name, "cells": 0,
+                             "states": {"pending": 0, "done": 0, "failed": 0},
+                             "complete": False}]:
+        print("no campaigns recorded" if not args.name
+              else f"campaign {args.name!r} not found")
+        return 1 if args.name else 0
+    for status in docs:
+        states = status["states"]
+        print(
+            f"{status['campaign']}: {status['cells']} cell(s) — "
+            f"{states['done']} done, {states['failed']} failed, "
+            f"{states['pending']} pending"
+            + ("  [complete]" if status["complete"] else "")
+        )
+    return 0
+
+
+def _cmd_campaign_query(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore
+    from repro.campaign.query import (
+        baseline_deltas,
+        deltas_table,
+        group_records,
+        groups_table,
+        query_records,
+        records_table,
+        records_to_csv,
+        table3_docs,
+    )
+
+    store = CampaignStore(args.db)
+    try:
+        if args.table3:
+            if not args.name:
+                print("campaign query: --table3 requires --name", file=sys.stderr)
+                return 2
+            try:
+                docs = table3_docs(store, args.name)
+            except ValueError as exc:
+                print(f"campaign query: {exc}", file=sys.stderr)
+                return 1
+            if args.json:
+                _print_doc(args, docs)
+            else:
+                print(_table3_text(docs))
+            return 0
+        if args.baseline:
+            if not args.name:
+                print("campaign query: --baseline requires --name", file=sys.stderr)
+                return 2
+            rows = baseline_deltas(store, args.name, args.baseline)
+            if args.json:
+                _print_doc(args, rows)
+            else:
+                print(deltas_table(rows, args.name, args.baseline))
+            return 0
+        records = query_records(
+            store,
+            campaign=args.name,
+            program=args.program,
+            machine=args.machine,
+            scale=args.scale,
+            threshold=args.threshold,
+        )
+        if args.group_by:
+            try:
+                groups = group_records(records, args.group_by)
+            except ValueError as exc:
+                print(f"campaign query: {exc}", file=sys.stderr)
+                return 2
+            if args.json:
+                _print_doc(args, groups)
+            elif args.csv:
+                print(_groups_csv(groups, args.group_by), end="")
+            else:
+                print(groups_table(groups, args.group_by))
+            return 0
+        if args.csv:
+            print(records_to_csv(records), end="")
+        elif args.json:
+            _print_doc(args, records)
+        else:
+            print(records_table(records))
+        return 0
+    finally:
+        store.close()
+
+
+def _table3_text(docs: list) -> str:
+    """Render stored Table III documents with the live command's table."""
+    from repro.reporting.tables import format_table
+
+    rows = [
+        [doc.get("name"), None, None, None, None, None, None]
+        if doc.get("failed")
+        else [
+            doc["name"],
+            doc["suite"],
+            doc["loc"],
+            100 * doc["primary_share"],
+            doc["best_speedup"],
+            doc["best_threads"],
+            doc["label"],
+        ]
+        for doc in docs
+    ]
+    return format_table(
+        ["Application", "Suite", "LOC", "Hotspot %", "Speedup", "Threads",
+         "Detected Pattern"],
+        rows,
+        title="Table III (from stored campaign)",
+    )
+
+
+def _groups_csv(groups: list, keys: list) -> str:
+    import csv
+    import io as _io
+
+    buffer = _io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    fields = list(keys) + ["cells", "done", "geomean_speedup", "max_speedup"]
+    writer.writerow(fields)
+    for group in groups:
+        writer.writerow(["" if group.get(f) is None else group.get(f) for f in fields])
+    return buffer.getvalue()
+
+
 def _add_engine_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument("--engine", choices=["compiled", "tree"],
                             default="compiled",
@@ -810,7 +1024,8 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["queued", "running", "done", "failed", "cancelled"])
     p_jobs.add_argument("--kind", default=None, choices=["source", "bench", "sweep"])
     p_jobs.add_argument("--limit", type=int, default=None, metavar="N",
-                        help="show only the newest N jobs (newest first)")
+                        help="truncate the newest-first listing to N jobs "
+                             "(0 means none)")
     _add_service_url(p_jobs)
     _add_json_flags(p_jobs)
     p_jobs.set_defaults(func=_cmd_jobs)
@@ -861,6 +1076,79 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_exp.add_argument("--output", "-o", default=None)
     p_exp.set_defaults(func=_cmd_experiments)
+
+    from repro.campaign.grid import MACHINE_MODELS
+    from repro.campaign.store import default_campaign_db
+
+    p_camp = sub.add_parser(
+        "campaign", help="run and query experiment campaigns (docs/campaigns.md)"
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_db(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--db", default=str(default_campaign_db()), metavar="PATH",
+            help="campaign results database (default: $REPRO_CAMPAIGN_DB "
+                 "or ~/.cache/repro/campaigns.sqlite)")
+
+    p_crun = camp_sub.add_parser(
+        "run", help="execute a (program x machine x scale x threshold) grid"
+    )
+    p_crun.add_argument("--name", required=True, help="campaign name "
+                        "(rerunning a name resumes its pending cells)")
+    p_crun.add_argument("--programs", nargs="*", default=None, metavar="NAME",
+                        help="benchmark subset (default: the whole registry)")
+    p_crun.add_argument("--machines", nargs="*", default=["default"],
+                        choices=sorted(MACHINE_MODELS),
+                        help="named machine models to sweep")
+    p_crun.add_argument("--scales", nargs="*", type=float, default=[1.0],
+                        metavar="S", help="input-scale factors to sweep")
+    p_crun.add_argument("--thresholds", nargs="*", default=["spec"], metavar="T",
+                        help="hotspot thresholds to sweep ('spec' = each "
+                             "benchmark's own default)")
+    p_crun.add_argument("--url", default=None,
+                        help="daemon address (default: boot an embedded "
+                             "daemon for this run)")
+    p_crun.add_argument("--workers", type=int, default=2,
+                        help="embedded daemon worker count (ignored with --url)")
+    p_crun.add_argument("--cache-dir", default=None,
+                        help="embedded daemon profile cache (ignored with --url)")
+    p_crun.add_argument("--timeout", type=float, default=300.0,
+                        help="per-cell completion timeout in seconds")
+    _add_campaign_db(p_crun)
+    _add_json_flags(p_crun)
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cstat = camp_sub.add_parser(
+        "status", help="cell-state counts for one or all campaigns"
+    )
+    p_cstat.add_argument("--name", default=None)
+    _add_campaign_db(p_cstat)
+    _add_json_flags(p_cstat)
+    p_cstat.set_defaults(func=_cmd_campaign_status)
+
+    p_cq = camp_sub.add_parser(
+        "query", help="filter, aggregate, and export stored campaign results"
+    )
+    p_cq.add_argument("--name", default=None, help="restrict to one campaign")
+    p_cq.add_argument("--program", default=None)
+    p_cq.add_argument("--machine", default=None)
+    p_cq.add_argument("--scale", type=float, default=None)
+    p_cq.add_argument("--threshold", type=float, default=None)
+    p_cq.add_argument("--group-by", nargs="*", default=None, metavar="KEY",
+                      help="aggregate with geomean speedups by axis keys "
+                           "(campaign/program/machine/scale/threshold/label)")
+    p_cq.add_argument("--baseline", default=None, metavar="CAMPAIGN",
+                      help="per-cell regression deltas of --name vs this "
+                           "baseline campaign")
+    p_cq.add_argument("--csv", action="store_true",
+                      help="emit CSV instead of a text table")
+    p_cq.add_argument("--table3", action="store_true",
+                      help="emit the campaign's default-grid cells as "
+                           "Table III (byte-identical to `table3 --json`)")
+    _add_campaign_db(p_cq)
+    _add_json_flags(p_cq)
+    p_cq.set_defaults(func=_cmd_campaign_query)
 
     args = parser.parse_args(argv)
     return args.func(args)

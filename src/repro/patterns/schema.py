@@ -506,6 +506,60 @@ def validate_job_record(doc: dict[str, Any]) -> dict[str, Any]:
     return doc
 
 
+#: Lifecycle states of a campaign cell (see :mod:`repro.campaign`).
+#: ``done``/``failed`` are terminal; ``pending`` cells are planned work an
+#: interrupted ``campaign run`` resumes.
+CAMPAIGN_CELL_STATES = ("pending", "done", "failed")
+
+
+def campaign_record(cell: dict[str, Any]) -> dict[str, Any]:
+    """Stamp a campaign-cell dict as a versioned campaign-record envelope.
+
+    Campaign records are a fourth document kind riding on the analysis
+    schema version (a tolerated extension beside the job-record envelope):
+    the envelope adds ``schema_version`` and a ``"record": "campaign_cell"``
+    discriminator, leaving the cell's fields untouched.  A cell's
+    ``result`` field holds an ordinary outcome document — the exact bytes
+    ``BenchmarkOutcome.to_dict()`` produced when the cell ran — so
+    consumers dispatch with the machinery they already have, and Table III
+    regenerated from a stored campaign is byte-identical to a live sweep.
+
+    Expected cell fields: ``campaign``, ``cell_id``, the axis coordinates
+    (``program``, ``machine``, ``scale``, ``threshold``), the content
+    ``digest`` of the cell's bench payload
+    (:func:`repro.service.jobs.job_digest`), ``state``, and
+    ``result``/``error``.
+    """
+    doc = dict(cell)
+    doc["schema_version"] = SCHEMA_VERSION
+    doc["record"] = "campaign_cell"
+    return doc
+
+
+def validate_campaign_record(doc: dict[str, Any]) -> dict[str, Any]:
+    """Check *doc* is a campaign-cell record of this schema version.
+
+    Raises :class:`ValueError` on a version mismatch, a missing
+    ``"campaign_cell"`` discriminator, an unknown cell state, or missing
+    coordinates.
+    """
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported campaign record schema version {version!r}")
+    if doc.get("record") != "campaign_cell":
+        raise ValueError("document is not a campaign cell record")
+    state = doc.get("state")
+    if state not in CAMPAIGN_CELL_STATES:
+        raise ValueError(f"unknown campaign cell state {state!r}")
+    for field in ("campaign", "cell_id", "program", "machine"):
+        if not isinstance(doc.get(field), str) or not doc.get(field):
+            raise ValueError(f"campaign record missing {field!r}")
+    digest = doc.get("digest")
+    if not isinstance(digest, str) or not digest:
+        raise ValueError(f"'digest' must be a non-empty hex string, got {digest!r}")
+    return doc
+
+
 def strip_trace_timings(doc: dict[str, Any]) -> dict[str, Any]:
     """Copy of an analysis document with trace wall-clock timings zeroed.
 

@@ -89,27 +89,53 @@ def run_bench_job(payload: dict[str, Any], cache: ProfileCache) -> tuple[dict, d
 
     Mirrors ``parallel.analyze_one``, but profiles through the passed
     cache object so hits show up in the daemon's ``/v1/stats``.
+
+    Campaign cells ride through optional payload keys, each defaulting to
+    the registry spec / the frozen :data:`~repro.sim.machine.DEFAULT_MACHINE`
+    so a bare ``{"kind": "bench", "name": ...}`` stays byte-identical to
+    ``repro table3``:
+
+    * ``scale`` — input-scale factor applied to the spec's argument sets
+      via :func:`repro.bench_programs.workloads.scale_arg_sets`;
+    * ``threshold`` / ``min_pairs`` — detector-config overrides;
+    * ``machine`` — mapping of :class:`~repro.sim.machine.Machine` cost
+      fields (``spawn_cost``, ``barrier_base``, ...) replaced onto the
+      default model before simulation.
     """
+    from dataclasses import replace
+
     from repro.bench_programs.registry import get_benchmark
+    from repro.bench_programs.workloads import scale_arg_sets
     from repro.lang.parser import parse_program
     from repro.lang.validate import validate_program
     from repro.patterns.engine import analyze
     from repro.runtime.parallel import outcome_from_analysis
     from repro.sim import plan_and_simulate
+    from repro.sim.machine import DEFAULT_MACHINE
 
     before = cache.stats.hits
     spec = get_benchmark(payload["name"])
     program = parse_program(spec.source)
     validate_program(program)
+    arg_sets = spec.arg_sets()
+    scale = float(payload.get("scale", 1.0))
+    if scale != 1.0:
+        arg_sets = scale_arg_sets(arg_sets, scale)
+    machine = DEFAULT_MACHINE
+    overrides = payload.get("machine") or {}
+    if overrides:
+        machine = replace(DEFAULT_MACHINE, **overrides)
     result = analyze(
         program,
         spec.entry,
-        spec.arg_sets(),
-        hotspot_threshold=spec.hotspot_threshold,
-        min_pairs=spec.min_pairs,
+        arg_sets,
+        hotspot_threshold=float(payload.get("threshold", spec.hotspot_threshold)),
+        min_pairs=int(payload.get("min_pairs", spec.min_pairs)),
         cache=cache,
     )
-    outcome = outcome_from_analysis(spec, result, plan_and_simulate(result))
+    outcome = outcome_from_analysis(
+        spec, result, plan_and_simulate(result, machine=machine)
+    )
     return outcome.to_dict(), {"profile_cache_hit": cache.stats.hits > before}
 
 

@@ -53,6 +53,23 @@ def default_client_id() -> str:
     return os.environ.get(CLIENT_ID_ENV_VAR) or f"pid-{os.getpid()}"
 
 
+def _parse_retry_after(hint: str | None) -> float | None:
+    """Lenient ``Retry-After`` parse: seconds as a float, else ``None``.
+
+    The daemon emits RFC 9110 integer ``delay-seconds``, but this client
+    talks to whatever answers — be liberal in what we accept: numeric
+    strings (integer or fractional) parse, anything else (HTTP-dates,
+    garbage, empty) degrades to ``None`` rather than crashing the error
+    path.  Negative values clamp to 0 so callers never sleep backwards.
+    """
+    if hint is None:
+        return None
+    try:
+        return max(0.0, float(hint.strip()))
+    except (ValueError, AttributeError):
+        return None
+
+
 class ServiceError(RuntimeError):
     """An HTTP error response from the daemon."""
 
@@ -101,14 +118,10 @@ class ServiceClient:
                 message = json.loads(exc.read()).get("error", str(exc))
             except (ValueError, OSError):
                 message = str(exc)
-            retry_after = None
             hint = exc.headers.get("Retry-After") if exc.headers else None
-            if hint is not None:
-                try:
-                    retry_after = float(hint)
-                except ValueError:
-                    retry_after = None
-            raise ServiceError(exc.code, message, retry_after=retry_after) from None
+            raise ServiceError(
+                exc.code, message, retry_after=_parse_retry_after(hint)
+            ) from None
 
     def _submit(self, body: dict[str, Any]) -> dict:
         """POST a submission, absorbing 429s per the server's hints."""
@@ -213,7 +226,8 @@ class ServiceClient:
         kind: str | None = None,
         limit: int | None = None,
     ) -> list[dict]:
-        """List retained jobs; *limit* keeps only the newest N (newest first)."""
+        """List retained jobs, newest first; *limit* truncates to the newest N
+        (``limit=0`` is explicitly an empty listing)."""
         query = "&".join(
             f"{key}={value}"
             for key, value in (("state", state), ("kind", kind), ("limit", limit))

@@ -668,22 +668,25 @@ class JobStore:
         kind: str | None = None,
         limit: int | None = None,
     ) -> list[Job]:
-        """Retained jobs in submission order, optionally filtered.
+        """Retained jobs **newest first** (descending id), optionally filtered.
 
-        With *limit*, only the newest *limit* matches are returned —
-        **newest first** — so pollers can ask for "the last 20" without
-        paying for the whole retained history.
+        One documented order whether or not *limit* is given: the listing
+        always starts at the most recent submission, and *limit* merely
+        truncates it — ``limit=N`` is "the last N", ``limit=0`` is
+        explicitly zero rows, ``limit=None`` is everything.  (The listing
+        used to flip between oldest-first and newest-first depending on
+        whether a limit was set; pagination must never change order.)
         """
         with self._cond:
             jobs = [
                 job
-                for job_id in sorted(self._jobs)
+                for job_id in sorted(self._jobs, reverse=True)
                 if (job := self._jobs[job_id])
                 and (state is None or job.state == state)
                 and (kind is None or job.kind == kind)
             ]
         if limit is not None:
-            jobs = jobs[::-1][: max(0, limit)]
+            jobs = jobs[: max(0, limit)]
         return jobs
 
     def counts(self) -> dict[str, Any]:

@@ -17,9 +17,10 @@ Endpoints (all JSON):
                       in-flight work coalesces (the 202 record carries
                       ``coalesced_with``); a full queue answers ``429``
                       with a ``Retry-After`` header
-``GET /v1/jobs``      list retained jobs (``?state=``, ``?kind=`` filters;
-                      ``?limit=N`` returns only the newest N, newest
-                      first); summaries only — results are fetched per job
+``GET /v1/jobs``      list retained jobs, **newest first** (``?state=``,
+                      ``?kind=`` filters; ``?limit=N`` truncates to the
+                      newest N, ``?limit=0`` is explicitly zero rows);
+                      summaries only — results are fetched per job
 ``GET /v1/jobs/<id>``     full job record: status, timestamps, result/error
 ``DELETE /v1/jobs/<id>``  cancel a job: queued jobs cancel immediately,
                           running jobs cooperatively (``cancel_requested``
@@ -187,7 +188,9 @@ class AnalysisService:
         """Seconds a 429'd client should wait before resubmitting.
 
         Estimated drain time for the current queue: depth x the store's
-        run-time EMA / worker count, clamped to [1, 60] so the hint is
+        run-time EMA / worker count, **rounded up to whole seconds** (RFC
+        9110 §10.2.3 allows only integer ``delay-seconds`` in a
+        ``Retry-After`` header) and clamped to [1, 60] so the hint is
         always usable even before any job has finished (EMA still zero).
         """
         counts = self.store.counts()
@@ -220,6 +223,51 @@ class AnalysisService:
             names = {spec.name for spec in all_benchmarks()}
             if body.get("name") not in names:
                 raise ValueError(f"unknown benchmark {body.get('name')!r}")
+            # campaign-cell knobs: reject malformed values at submission,
+            # not as a failed job a poller discovers later
+            scale = body.get("scale")
+            if scale is not None:
+                if not isinstance(scale, (int, float)) or isinstance(scale, bool) \
+                        or scale <= 0:
+                    raise ValueError(f"'scale' must be a positive number, got {scale!r}")
+            threshold = body.get("threshold")
+            if threshold is not None:
+                if not isinstance(threshold, (int, float)) or isinstance(threshold, bool) \
+                        or not 0 <= threshold <= 1:
+                    raise ValueError(
+                        f"'threshold' must be a number in [0, 1], got {threshold!r}"
+                    )
+            min_pairs = body.get("min_pairs")
+            if min_pairs is not None:
+                if not isinstance(min_pairs, int) or isinstance(min_pairs, bool) \
+                        or min_pairs < 0:
+                    raise ValueError(
+                        f"'min_pairs' must be a non-negative integer, got {min_pairs!r}"
+                    )
+            machine = body.get("machine")
+            if machine is not None:
+                import dataclasses
+
+                from repro.sim.machine import Machine
+
+                known_fields = {
+                    f.name for f in dataclasses.fields(Machine) if f.name != "threads"
+                }
+                if not isinstance(machine, dict):
+                    raise ValueError("'machine' must be a mapping of Machine fields")
+                bad = sorted(set(machine) - known_fields)
+                if bad:
+                    raise ValueError(
+                        f"unknown machine fields {bad!r}; "
+                        f"expected a subset of {sorted(known_fields)}"
+                    )
+                for field, value in machine.items():
+                    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                            or value < 0:
+                        raise ValueError(
+                            f"machine field {field!r} must be a non-negative "
+                            f"number, got {value!r}"
+                        )
         elif kind == "sweep":
             # An unknown name must be a 400 here, not a failed job a poller
             # discovers minutes later.
@@ -402,8 +450,19 @@ class _Handler(BaseHTTPRequestHandler):
         if urlparse(self.path).path.rstrip("/") != "/v1/jobs":
             self._error(404, f"no route {self.path!r}")
             return
+        raw_length = self.headers.get("Content-Length", "0")
+        # RFC 9110 §8.6: Content-Length is a non-negative decimal integer.
+        # Validate before int() so a malformed header is a clean 400 with a
+        # JSON body, not a bare ValueError bubbling toward the 500 path.
+        if not raw_length.strip().isdigit():
+            self._error(
+                400,
+                f"invalid Content-Length header: {raw_length!r} "
+                "(must be a non-negative integer)",
+            )
+            return
         try:
-            length = int(self.headers.get("Content-Length", 0))
+            length = int(raw_length)
             body = json.loads(self.rfile.read(length) or b"{}")
             if not isinstance(body, dict):
                 raise ValueError("submission body must be a JSON object")

@@ -383,6 +383,97 @@ class TestValidation:
         # the daemon keeps serving other routes afterwards
         assert client.health()["status"] == "ok"
 
+    def test_bench_campaign_knobs_validated_at_submission(self, client):
+        for bad in (
+            {"scale": -1}, {"scale": "big"},
+            {"threshold": 2.0}, {"threshold": "high"},
+            {"min_pairs": -1}, {"min_pairs": 1.5},
+            {"machine": "fast"}, {"machine": {"warp_drive": 1.0}},
+            {"machine": {"spawn_cost": -5.0}}, {"machine": {"threads": 4}},
+        ):
+            with pytest.raises(ServiceError) as exc:
+                client.submit_benchmark("reg_detect", **bad)
+            assert exc.value.status == 400, bad
+
+    def test_bench_accepts_campaign_knobs(self, client):
+        job = client.submit_benchmark(
+            "reg_detect", scale=1.0, threshold=0.1,
+            machine={"spawn_cost": 10.0},
+        )
+        record = client.wait(job["id"], timeout=120.0)
+        assert record["state"] == "done", record.get("error")
+
+    def test_malformed_content_length_is_json_400(self, service):
+        # a bad Content-Length must be a clean 400 with a JSON error body,
+        # not a ValueError surfacing through the 500 catch-all
+        import http.client
+
+        conn = http.client.HTTPConnection(service.host, service.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/jobs", skip_accept_encoding=True)
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            doc = json.loads(response.read())
+            assert "Content-Length" in doc["error"]
+        finally:
+            conn.close()
+        # negative lengths are rejected the same way ('-1'.isdigit() is False)
+        conn = http.client.HTTPConnection(service.host, service.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/jobs", skip_accept_encoding=True)
+            conn.putheader("Content-Length", "-1")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "Content-Length" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+
+class TestRetryAfterParsing:
+    """Client-side ``Retry-After`` leniency (RFC 9110: server sends ints)."""
+
+    def test_parse_retry_after_is_lenient(self):
+        from repro.service.client import _parse_retry_after
+
+        assert _parse_retry_after("7") == 7.0
+        assert _parse_retry_after(" 2.5 ") == 2.5  # fractional tolerated
+        assert _parse_retry_after("-3") == 0.0  # never sleep backwards
+        assert _parse_retry_after(None) is None
+        # non-numeric forms (e.g. an HTTP-date) degrade to None, not a crash
+        assert _parse_retry_after("Fri, 08 Aug 2026 12:00:00 GMT") is None
+        assert _parse_retry_after("") is None
+
+    def test_non_numeric_retry_after_header_is_ignored(self, service):
+        # regression: a proxy-style HTTP-date Retry-After must not crash the
+        # client's error path — the ServiceError simply carries no hint
+        import urllib.error
+        import urllib.request
+
+        from repro.service import client as client_mod
+
+        real_urlopen = urllib.request.urlopen
+
+        def date_flavored(request, **kwargs):
+            try:
+                return real_urlopen(request, **kwargs)
+            except urllib.error.HTTPError as exc:
+                exc.headers["Retry-After"] = "Fri, 08 Aug 2026 12:00:00 GMT"
+                raise
+
+        sick = ServiceClient(service.url, retry_limit=0)
+        try:
+            client_mod.urllib.request.urlopen = date_flavored
+            with pytest.raises(ServiceError) as exc:
+                sick._request("GET", "/v1/jobs/999999")
+        finally:
+            client_mod.urllib.request.urlopen = real_urlopen
+        assert exc.value.status == 404
+        assert exc.value.retry_after is None
+
 
 class TestAdmissionControl:
     @pytest.fixture
@@ -417,6 +508,8 @@ class TestAdmissionControl:
             client.submit_source(SRC, entry="total", args=SRC_ARGS, seed=203)
         assert exc.value.status == 429
         assert exc.value.retry_after is not None and exc.value.retry_after >= 1
+        # RFC 9110 delay-seconds: the server's hint is whole seconds
+        assert float(exc.value.retry_after).is_integer()
         stats = client.stats()
         assert stats["admission"]["max_queue"] == 1
         assert stats["admission"]["rejected"] >= 1

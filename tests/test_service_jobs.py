@@ -344,8 +344,13 @@ class TestListLimit:
         ids = [store.submit("bench", {"name": f"n{i}"}).id for i in range(5)]
         newest_two = store.list_jobs(limit=2)
         assert [j.id for j in newest_two] == [ids[-1], ids[-2]]
-        # unlimited stays oldest-first (unchanged behavior)
-        assert [j.id for j in store.list_jobs()] == ids
+
+    def test_unlimited_is_newest_first_too(self):
+        # one documented order: limit only truncates, it never reorders
+        store = JobStore()
+        ids = [store.submit("bench", {"name": f"n{i}"}).id for i in range(5)]
+        assert [j.id for j in store.list_jobs()] == ids[::-1]
+        assert [j.id for j in store.list_jobs(limit=3)] == ids[::-1][:3]
 
     def test_limit_composes_with_filters(self):
         store = JobStore()
