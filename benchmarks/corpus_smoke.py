@@ -1,0 +1,103 @@
+"""CI smoke for the labeled corpus subsystem.
+
+Three facts, end to end, on a 25-program fixed-seed corpus::
+
+    PYTHONPATH=src python benchmarks/corpus_smoke.py
+
+* **byte determinism** — the corpus generated twice into different
+  directories compares equal file by file (``cmp`` semantics, done in
+  Python so the script is portable);
+* **service integration** — the registered corpus sweeps through a live
+  in-process daemon exactly like registry benchmarks (the
+  ``REPRO_CORPUS_PATH`` bridge that process-backend workers rely on);
+* **accuracy gate** — scoring the swept corpus against its ground truth
+  must reach ≥ 0.95 accuracy on the ``wavefront`` and ``doall``
+  dimensions (the detector-validation acceptance for the corpus work).
+
+Exit 0 on success.  Not collected by pytest (no ``test_`` prefix); the
+in-process equivalents live in ``tests/test_corpus.py`` and
+``tests/test_wavefront_detection.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+COUNT = 25
+SEED = 7
+GATED_DIMENSIONS = ("wavefront", "doall")
+MIN_ACCURACY = 0.95
+
+
+def _tree(root: Path) -> dict[str, bytes]:
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def check(ok: bool, what: str) -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[corpus-smoke] {status}: {what}")
+    if not ok:
+        sys.exit(1)
+
+
+def main() -> int:
+    from repro.corpus import generate_corpus, register_corpus, unregister_corpus
+    from repro.corpus.score import score_entries
+    from repro.profiling.cache import ProfileCache
+    from repro.service.client import ServiceClient
+    from repro.service.server import AnalysisService
+
+    with tempfile.TemporaryDirectory() as work:
+        work = Path(work)
+
+        # 1. byte determinism: same (count, seed) twice -> identical trees
+        manifest = generate_corpus(COUNT, SEED, work / "a")
+        generate_corpus(COUNT, SEED, work / "b")
+        check(_tree(work / "a") == _tree(work / "b"),
+              f"{COUNT}-program seed-{SEED} corpus is byte-deterministic "
+              f"(digest {manifest['corpus_digest'][:12]})")
+
+        suite = register_corpus(work / "a")
+        try:
+            # 2. the whole corpus sweeps through a live daemon
+            svc = AnalysisService(port=0, workers=2, cache_dir=str(work / "cache"))
+            svc.start_background()
+            try:
+                client = ServiceClient(svc.url)
+                client.wait_healthy(timeout=10.0)
+                job = client.submit_sweep(names=suite.names())
+                record = client.wait(job["id"], timeout=600.0)
+                check(record["state"] == "done",
+                      f"sweep of {len(suite.names())} corpus programs through "
+                      f"the daemon (job {job['id']})")
+                results = {r["name"]: r for r in record["result"]}
+                check(sorted(results) == sorted(suite.names()),
+                      "sweep covered every corpus program")
+            finally:
+                svc.shutdown()
+
+            # 3. score against the ground truth through the daemon's own
+            # profile cache — the sweep above already warmed every entry
+            score = score_entries(suite, cache=ProfileCache(work / "cache"))
+            for dim in GATED_DIMENSIONS:
+                accuracy = score["detectors"][dim]["accuracy"]
+                check(accuracy >= MIN_ACCURACY,
+                      f"{dim} accuracy {accuracy:.3f} >= {MIN_ACCURACY} "
+                      f"over {score['programs']} programs")
+            if score["mismatches"]:
+                for m in score["mismatches"]:
+                    print(f"[corpus-smoke] note: mismatch {m['program']}/{m['dimension']}")
+        finally:
+            unregister_corpus(work / "a")
+    print("[corpus-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,14 @@ def _load_all() -> None:
     # Import for side effects: each suite module registers its benchmarks.
     from repro.bench_programs import bots, parsec, polybench, starbench  # noqa: F401
 
+    # Generated corpora advertised via REPRO_CORPUS_PATH register here too,
+    # so sweep pool workers and service process backends — which resolve
+    # names in their own process after the fork — see the same registry
+    # view as the parent that registered the corpus.
+    from repro.corpus.suite import autoload_registered
+
+    autoload_registered()
+
 
 def get_benchmark(name: str) -> BenchmarkSpec:
     _load_all()

@@ -79,7 +79,7 @@ def run_campaign(
     store.plan_cells(name, list(cells))
     state_by_id = {c["cell_id"]: c["state"] for c in store.cells(name)}
     with span("campaign.run", campaign=name, cells=len(cells)):
-        in_flight: list[tuple[CampaignCell, str, int]] = []
+        to_submit: list[tuple[CampaignCell, str]] = []
         for cell in cells:
             if state_by_id.get(cell.cell_id) == "done":
                 counter.labels(outcome="reused_resume").inc()
@@ -93,11 +93,28 @@ def run_campaign(
                 counter.labels(outcome="reused_store").inc()
                 summary["reused_store"] += 1
                 continue
-            with span("campaign.submit", cell=cell.cell_id):
-                job = client.submit_benchmark(cell.program, **{
-                    k: v for k, v in cell_payload(cell).items() if k != "name"
-                })
-            in_flight.append((cell, digest, job["id"]))
+            to_submit.append((cell, digest))
+        in_flight: list[tuple[CampaignCell, str, int]] = []
+        if to_submit and hasattr(client, "submit_many"):
+            # One POST for the whole grid: the server validates every cell
+            # before admitting any, and the client absorbs queue-full by
+            # resubmitting only the unaccepted tail.
+            with span("campaign.submit", cells=len(to_submit)):
+                jobs = client.submit_many(
+                    [{"kind": "bench", **cell_payload(cell)} for cell, _ in to_submit]
+                )
+            in_flight = [
+                (cell, digest, job["id"])
+                for (cell, digest), job in zip(to_submit, jobs)
+            ]
+        else:
+            # minimal-client fallback: anything with submit_benchmark/wait
+            for cell, digest in to_submit:
+                with span("campaign.submit", cell=cell.cell_id):
+                    job = client.submit_benchmark(cell.program, **{
+                        k: v for k, v in cell_payload(cell).items() if k != "name"
+                    })
+                in_flight.append((cell, digest, job["id"]))
         for cell, digest, job_id in in_flight:
             with span("campaign.collect", cell=cell.cell_id):
                 record = client.wait(job_id, timeout=timeout, poll=poll)

@@ -40,6 +40,15 @@ see ``docs/campaigns.md``)::
     repro-patterns campaign status [--name NAME]       # cell-state counts
     repro-patterns campaign query [filters] [--csv]    # stored results
     repro-patterns campaign query --name NAME --table3 # regenerate Table III
+
+The corpus commands generate and score labeled program corpora
+(``repro.corpus``, see ``docs/corpus.md``)::
+
+    repro-patterns corpus generate --count N --seed S --out DIR
+    repro-patterns corpus score DIR [--json|--csv]
+
+``campaign run --corpus DIR`` and ``serve --corpus DIR`` register a
+generated corpus as sweepable benchmarks for the run.
 """
 
 from __future__ import annotations
@@ -475,6 +484,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the analysis daemon until interrupted (SIGINT exits cleanly)."""
     from repro.service.server import AnalysisService
 
+    corpus_note = ""
+    for directory in args.corpus or ():
+        suite, code = _register_cli_corpus("serve", directory)
+        if suite is None:
+            return code
+        corpus_note += f", corpus {suite.name} ({len(suite.entries)} programs)"
     service = AnalysisService(
         host=args.host,
         port=args.port,
@@ -494,6 +509,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({service.executor.workers} {args.backend} workers, "
         f"cache at {service.executor.cache.root}"
         + (f", recovered {recovered} interrupted job(s)" if recovered else "")
+        + corpus_note
         + ")",
         flush=True,
     )
@@ -645,6 +661,56 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- corpus commands -----------------------------------------------------
+
+def _cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from repro.corpus import generate_corpus
+
+    if args.count < 1:
+        print("corpus generate: --count must be >= 1", file=sys.stderr)
+        return 2
+    manifest = generate_corpus(args.count, args.seed, args.out, name=args.name)
+    if args.json:
+        _print_doc(args, manifest)
+    else:
+        print(
+            f"corpus {manifest['name']!r}: {manifest['count']} program(s) "
+            f"written to {args.out} "
+            f"(digest {manifest['corpus_digest'][:12]})"
+        )
+    return 0
+
+
+def _cmd_corpus_score(args: argparse.Namespace) -> int:
+    from repro.corpus import load_corpus, score_entries, score_csv, score_table
+
+    try:
+        suite = load_corpus(args.dir)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"corpus score: cannot load {args.dir!r}: {exc}", file=sys.stderr)
+        return 2
+    score = score_entries(suite, cache=_make_cache(args), engine=args.engine)
+    if args.json:
+        _print_doc(args, score)
+    elif args.csv:
+        print(score_csv(score), end="")
+    else:
+        print(score_table(score))
+    return 1 if score["mismatches"] else 0
+
+
+def _register_cli_corpus(command: str, directory: str):
+    """Load + register a corpus directory for a CLI run; exits via the
+    returned code on failure (None on success)."""
+    from repro.corpus import register_corpus
+
+    try:
+        return register_corpus(directory), None
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"{command}: cannot load corpus {directory!r}: {exc}", file=sys.stderr)
+        return None, 2
+
+
 # -- campaign commands ---------------------------------------------------
 
 def _campaign_cells(args: argparse.Namespace):
@@ -666,6 +732,17 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignStore, run_campaign
     from repro.service.client import ServiceClient, ServiceError
 
+    if getattr(args, "corpus", None):
+        # A corpus directory is a grid-axis source: its programs become
+        # registry benchmarks (exported via REPRO_CORPUS_PATH so the
+        # daemon's worker processes resolve them too), and when no
+        # --programs subset is named the grid is the corpus itself rather
+        # than the whole registry.
+        suite, code = _register_cli_corpus("campaign run", args.corpus)
+        if suite is None:
+            return code
+        if not args.programs:
+            args.programs = suite.names()
     try:
         cells = _campaign_cells(args)
     except ValueError as exc:
@@ -995,6 +1072,10 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--max-queue", type=int, default=None,
                          help="admission-control bound on queued jobs; a full "
                               "queue answers 429 with a Retry-After hint")
+    p_serve.add_argument("--corpus", action="append", default=None, metavar="DIR",
+                         help="register a generated corpus directory as "
+                              "benchmarks before serving (repeatable); its "
+                              "programs become valid bench/sweep job names")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -1097,7 +1178,12 @@ def main(argv: list[str] | None = None) -> int:
     p_crun.add_argument("--name", required=True, help="campaign name "
                         "(rerunning a name resumes its pending cells)")
     p_crun.add_argument("--programs", nargs="*", default=None, metavar="NAME",
-                        help="benchmark subset (default: the whole registry)")
+                        help="benchmark subset (default: the whole registry, "
+                             "or the corpus when --corpus is given)")
+    p_crun.add_argument("--corpus", default=None, metavar="DIR",
+                        help="register a generated corpus directory and grid "
+                             "over its programs (restrict further with "
+                             "--programs)")
     p_crun.add_argument("--machines", nargs="*", default=["default"],
                         choices=sorted(MACHINE_MODELS),
                         help="named machine models to sweep")
@@ -1149,6 +1235,42 @@ def main(argv: list[str] | None = None) -> int:
     _add_campaign_db(p_cq)
     _add_json_flags(p_cq)
     p_cq.set_defaults(func=_cmd_campaign_query)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="generate and score labeled program corpora (docs/corpus.md)"
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+
+    p_cgen = corpus_sub.add_parser(
+        "generate", help="write a deterministic labeled corpus directory"
+    )
+    p_cgen.add_argument("--count", type=int, required=True, metavar="N",
+                        help="number of programs to generate")
+    p_cgen.add_argument("--seed", type=int, default=0,
+                        help="generation seed; (count, seed) fully determines "
+                             "every byte of the corpus")
+    p_cgen.add_argument("--out", required=True, metavar="DIR",
+                        help="corpus directory (created if needed)")
+    p_cgen.add_argument("--name", default=None,
+                        help="corpus name (default: corpus-s<seed>-n<count>)")
+    _add_json_flags(p_cgen)
+    p_cgen.set_defaults(func=_cmd_corpus_generate)
+
+    p_cscore = corpus_sub.add_parser(
+        "score", help="run the detectors over a corpus and score them "
+                      "against its ground-truth labels"
+    )
+    p_cscore.add_argument("dir", metavar="DIR", help="corpus directory")
+    p_cscore.add_argument("--cache-dir", default=None,
+                          help="profile cache directory (default: "
+                               "$REPRO_PROFILE_CACHE or ~/.cache/repro/profiles)")
+    p_cscore.add_argument("--no-cache", action="store_true",
+                          help="always re-run the instrumented engine")
+    p_cscore.add_argument("--csv", action="store_true",
+                          help="emit the per-detector table as CSV")
+    _add_engine_flag(p_cscore)
+    _add_json_flags(p_cscore)
+    p_cscore.set_defaults(func=_cmd_corpus_score)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,50 @@
+"""Labeled generated-program corpus: deterministic MiniC program generation
+with ground-truth pattern labels, registry/service integration, and a
+scoring layer joining detector output against the labels.
+
+The corpus promotes the seeded generative machinery proven in the
+metamorphic test suite into a first-class subsystem (ROADMAP item 4):
+
+* :mod:`repro.corpus.templates` — :class:`~repro.lang.builder.ProgramBuilder`
+  templates for each pattern shape (do-all, reduction, pipeline, task,
+  geometric, wavefront), each stamped with the ground truth it constructs;
+* :mod:`repro.corpus.transforms` — the semantics-preserving source
+  transforms (renaming, dead statements) the metamorphic tests proved
+  pattern-invariant;
+* :mod:`repro.corpus.generate` — the deterministic seeded generator behind
+  ``repro corpus generate``;
+* :mod:`repro.corpus.labels` — versioned label / manifest records,
+  content-addressed by source digest;
+* :mod:`repro.corpus.suite` — registration of a generated corpus as a
+  sweepable workload suite (``analyze_registry``, service ``bench``/
+  ``sweep`` jobs, and campaigns all see corpus programs as ordinary
+  benchmarks);
+* :mod:`repro.corpus.score` — ``repro corpus score``: per-detector
+  precision/recall/confusion against the ground truth.
+"""
+
+from repro.corpus.generate import generate_corpus, generate_programs
+from repro.corpus.labels import CORPUS_LABEL_RECORD, CORPUS_MANIFEST_RECORD
+from repro.corpus.score import (
+    predicted_patterns,
+    score_corpus,
+    score_csv,
+    score_entries,
+    score_table,
+)
+from repro.corpus.suite import load_corpus, register_corpus, unregister_corpus
+
+__all__ = [
+    "CORPUS_LABEL_RECORD",
+    "CORPUS_MANIFEST_RECORD",
+    "generate_corpus",
+    "generate_programs",
+    "load_corpus",
+    "predicted_patterns",
+    "register_corpus",
+    "score_corpus",
+    "score_csv",
+    "score_entries",
+    "score_table",
+    "unregister_corpus",
+]

@@ -1,0 +1,134 @@
+"""Versioned label and manifest records for generated corpora.
+
+Two more document kinds riding on the analysis schema version, following
+the job-record / campaign-record envelope convention of
+:mod:`repro.patterns.schema`: a ``"record"`` discriminator plus
+``schema_version``, validated on load so a stale or hand-edited corpus
+fails fast instead of silently mis-scoring.
+
+Both records are content-addressed: a label carries the SHA-256 of the
+program source it describes (checked against the file at load time), and
+the manifest's ``corpus_digest`` hashes the sorted per-program source
+digests — byte-determinism of generation reduces to comparing two
+manifest files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.corpus.templates import PATTERN_DIMENSIONS
+from repro.patterns.schema import SCHEMA_VERSION
+
+CORPUS_LABEL_RECORD = "corpus_label"
+CORPUS_MANIFEST_RECORD = "corpus_manifest"
+
+
+def source_digest(source: str) -> str:
+    """Content address of one program's MiniC source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def corpus_digest(source_digests: list[str]) -> str:
+    """Content address of a whole corpus: order-independent over programs."""
+    h = hashlib.sha256()
+    h.update(b"repro-corpus\x00")
+    for digest in sorted(source_digests):
+        h.update(digest.encode("ascii"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def label_record(
+    name: str,
+    template: str,
+    transforms: list[str],
+    entry: str,
+    arg_specs: list[tuple[str, str]],
+    seed: int,
+    digest: str,
+    truth: dict[str, bool],
+) -> dict[str, Any]:
+    """The ground-truth label document stored beside one program."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "record": CORPUS_LABEL_RECORD,
+        "name": name,
+        "template": template,
+        "transforms": list(transforms),
+        "entry": entry,
+        "args": [[kind, value] for kind, value in arg_specs],
+        "seed": seed,
+        "source_digest": digest,
+        "truth": {dim: bool(truth[dim]) for dim in PATTERN_DIMENSIONS},
+    }
+
+
+def validate_label_record(doc: dict[str, Any]) -> dict[str, Any]:
+    """Check *doc* is a corpus label of this schema version; return it."""
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported corpus label schema version {version!r}")
+    if doc.get("record") != CORPUS_LABEL_RECORD:
+        raise ValueError("document is not a corpus label record")
+    for key in ("name", "template", "entry", "source_digest"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            raise ValueError(f"corpus label missing {key!r}")
+    truth = doc.get("truth")
+    if not isinstance(truth, dict):
+        raise ValueError("corpus label missing 'truth'")
+    missing = [dim for dim in PATTERN_DIMENSIONS if dim not in truth]
+    if missing:
+        raise ValueError(f"corpus label truth missing dimension(s) {missing}")
+    args = doc.get("args")
+    if not isinstance(args, list) or any(
+        not isinstance(spec, list) or len(spec) != 2 for spec in args
+    ):
+        raise ValueError("corpus label 'args' must be a list of [kind, value] pairs")
+    return doc
+
+
+def manifest_record(
+    name: str,
+    count: int,
+    seed: int,
+    programs: list[dict[str, str]],
+) -> dict[str, Any]:
+    """The corpus-wide manifest: generation parameters + content address.
+
+    *programs* entries carry ``name``, ``template``, and ``source_digest``;
+    the manifest stores them in generation order (deterministic), while the
+    corpus digest itself is order-independent.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "record": CORPUS_MANIFEST_RECORD,
+        "name": name,
+        "count": count,
+        "seed": seed,
+        "corpus_digest": corpus_digest([p["source_digest"] for p in programs]),
+        "programs": programs,
+    }
+
+
+def validate_manifest_record(doc: dict[str, Any]) -> dict[str, Any]:
+    """Check *doc* is a corpus manifest of this schema version; return it."""
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported corpus manifest schema version {version!r}")
+    if doc.get("record") != CORPUS_MANIFEST_RECORD:
+        raise ValueError("document is not a corpus manifest record")
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        raise ValueError("corpus manifest missing 'name'")
+    programs = doc.get("programs")
+    if not isinstance(programs, list) or not programs:
+        raise ValueError("corpus manifest missing 'programs'")
+    for p in programs:
+        for key in ("name", "template", "source_digest"):
+            if not isinstance(p.get(key), str) or not p.get(key):
+                raise ValueError(f"corpus manifest program entry missing {key!r}")
+    expected = corpus_digest([p["source_digest"] for p in programs])
+    if doc.get("corpus_digest") != expected:
+        raise ValueError("corpus manifest digest does not match its program list")
+    return doc

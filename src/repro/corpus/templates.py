@@ -1,0 +1,298 @@
+"""ProgramBuilder templates: one per pattern shape, truth by construction.
+
+Each template draws its free parameters (trip counts, constants, statement
+mix) from a :class:`random.Random` and returns a :class:`TemplateProgram`
+whose ``truth`` dict states which patterns the construction guarantees —
+the labels the detectors are scored against.  Truth is decided by the
+*shape*, not by running the detectors, so scoring stays an independent
+check rather than a tautology:
+
+``doall``
+    a single loop of independent element updates — no loop-carried
+    dependence exists by construction;
+``reduction``
+    a scalar ``+=`` accumulation — the only carried dependence is the
+    associative accumulator;
+``pipeline``
+    a chain of loops where loop *k+1* reads exactly what loop *k* wrote at
+    the same index (``a = 1, b = 0``: a perfect two-stage schedule);
+``task``
+    two independent heavyweight loops over disjoint arrays in one function
+    — an antichain of size 2 in any sound CU graph;
+``geometric``
+    a driver repeatedly invoking a helper whose loops are all do-all
+    (Section III-C's chunkable-function shape);
+``wavefront_carried``
+    an fdtd-style time loop whose two field updates depend across time
+    steps — the backward ``(i_x, i_y)`` pairs lie on ``Y = X`` carried by
+    the time loop;
+``wavefront_skewed``
+    a reg_detect-style pair where the consumer's iteration *i* reads the
+    producer's iteration *i + 1* (``a = 1, b = -1``): a skewed pipeline.
+
+The templates use disjoint identifier pools per role so the corpus-wide
+renaming transform (see :mod:`repro.corpus.transforms`) is a sound
+alpha-conversion for every template.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.lang.builder import ProgramBuilder
+
+#: The pattern dimensions every truth dict covers, in scoring order.
+PATTERN_DIMENSIONS = (
+    "doall",
+    "reduction",
+    "pipeline",
+    "task",
+    "geometric",
+    "wavefront",
+)
+
+
+def _truth(**present: bool) -> dict[str, bool]:
+    unknown = set(present) - set(PATTERN_DIMENSIONS)
+    if unknown:
+        raise ValueError(f"unknown pattern dimension(s) {sorted(unknown)}")
+    return {dim: bool(present.get(dim, False)) for dim in PATTERN_DIMENSIONS}
+
+
+@dataclass
+class TemplateProgram:
+    """One generated program before transforms: source, inputs, truth."""
+
+    template: str
+    source: str
+    entry: str
+    #: portable ``(kind, value)`` argument specs in the service convention
+    #: (:func:`repro.service.jobs.build_call_args` materializes them)
+    arg_specs: list[tuple[str, str]]
+    truth: dict[str, bool]
+    #: transform names applied after generation (filled by the generator)
+    transforms: list[str] = field(default_factory=list)
+
+
+def _array_args(n: int, *names_kinds: tuple[str, str]) -> list[tuple[str, str]]:
+    specs = [(kind, f"{name}:{n}") for name, kind in names_kinds]
+    specs.append(("scalar", str(n)))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# templates
+# ---------------------------------------------------------------------------
+
+
+def t_doall(rng: random.Random) -> TemplateProgram:
+    """Independent element updates; 1-3 statements over disjoint outputs."""
+    n = rng.randrange(16, 41)
+    c = float(rng.randrange(2, 6))
+    # independent statements: distinct output arrays, A read-only
+    stmt_pool = ("scale", "gather", "affine")
+    picks = rng.sample(stmt_pool, rng.randint(1, 3))
+    b = ProgramBuilder()
+    with b.function(
+        "void", "kernel", ("float", "A[]"), ("float", "B[]"), ("float", "C[]"),
+        ("float", "D[]"), ("int", "n"),
+    ) as f:
+        with f.for_loop("i", 0, f.var("n")) as i:
+            for pick in picks:
+                if pick == "scale":
+                    f.assign(f.index("B", i), f.index("A", i) * c)
+                elif pick == "gather":
+                    f.assign(
+                        f.index("C", i),
+                        f.index("A", i) + f.index("A", f.var("n") - 1 - i),
+                    )
+                else:
+                    f.assign(f.index("D", i), i * 3.0 + c)
+    return TemplateProgram(
+        template="doall",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(
+            n, ("A", "rand"), ("B", "zeros"), ("C", "zeros"), ("D", "zeros")
+        ),
+        truth=_truth(doall=True),
+    )
+
+
+def t_reduction(rng: random.Random) -> TemplateProgram:
+    """Scalar accumulation; optionally squares the element first."""
+    n = rng.randrange(16, 41)
+    square = rng.random() < 0.5
+    b = ProgramBuilder()
+    with b.function(
+        "float", "kernel", ("float", "A[]"), ("float", "B[]"), ("int", "n")
+    ) as f:
+        acc = f.declare("float", "s", 0.0)
+        with f.for_loop("i", 0, f.var("n")) as i:
+            term = f.index("A", i) * f.index("A", i) if square else f.index("A", i)
+            f.add_assign(acc, term)
+        f.ret(acc)
+    return TemplateProgram(
+        template="reduction",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(n, ("A", "rand"), ("B", "zeros")),
+        truth=_truth(reduction=True),
+    )
+
+
+def t_pipeline(rng: random.Random) -> TemplateProgram:
+    """A 2- or 3-stage chain of do-all loops, each reading its predecessor
+    at the same index (perfect pipeline: a=1, b=0)."""
+    n = rng.randrange(16, 41)
+    c = float(rng.randrange(2, 6))
+    stages = rng.randint(2, 3)
+    arrays = ["A", "B", "C", "D"][: stages + 1]
+    b = ProgramBuilder()
+    params = [("float", f"{name}[]") for name in arrays] + [("int", "n")]
+    with b.function("void", "kernel", *params) as f:
+        for k in range(stages):
+            src_arr, dst = arrays[k], arrays[k + 1]
+            with f.for_loop("i", 0, f.var("n")) as i:
+                f.assign(f.index(dst, i), f.index(src_arr, i) * c + 1.0)
+    kinds = [("A", "rand")] + [(name, "zeros") for name in arrays[1:]]
+    return TemplateProgram(
+        template="pipeline",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(n, *kinds),
+        truth=_truth(doall=True, pipeline=True),
+    )
+
+
+def t_task(rng: random.Random) -> TemplateProgram:
+    """Two independent heavyweight accumulation loops over disjoint arrays
+    (mvt's shape): an antichain of two coarse tasks in the function."""
+    n = rng.randrange(48, 65)
+    b = ProgramBuilder()
+    with b.function(
+        "void", "kernel", ("float", "A[]"), ("float", "x1[]"), ("float", "y1[]"),
+        ("float", "x2[]"), ("float", "y2[]"), ("int", "n"),
+    ) as f:
+        with f.for_loop("i", 0, f.var("n")) as i:
+            f.assign(
+                f.index("x1", i), f.index("x1", i) + f.index("A", i) * f.index("y1", i)
+            )
+        with f.for_loop("j", 0, f.var("n")) as j:
+            f.assign(
+                f.index("x2", j), f.index("x2", j) + f.index("A", j) * f.index("y2", j)
+            )
+    return TemplateProgram(
+        template="task",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(
+            n, ("A", "rand"), ("x1", "zeros"), ("y1", "rand"),
+            ("x2", "zeros"), ("y2", "rand"),
+        ),
+        truth=_truth(doall=True, task=True),
+    )
+
+
+def t_geometric(rng: random.Random) -> TemplateProgram:
+    """A driver loop repeatedly invoking a helper whose two loops are both
+    do-all over read-only input: Section III-C's chunkable function.  The
+    helper's loops are also mutually independent, so the construction
+    carries task parallelism too (the paper's localSearch shape)."""
+    n = rng.randrange(12, 25)
+    steps = rng.randint(3, 4)
+    c = float(rng.randrange(2, 6))
+    b = ProgramBuilder()
+    with b.function(
+        "void", "phase", ("float", "A[]"), ("float", "B[]"), ("float", "C[]"),
+        ("int", "n"),
+    ) as f:
+        with f.for_loop("i", 0, f.var("n")) as i:
+            f.assign(f.index("B", i), f.index("A", i) * c)
+        with f.for_loop("j", 0, f.var("n")) as j:
+            f.assign(f.index("C", j), f.index("A", j) + 3.0)
+    with b.function(
+        "void", "main", ("float", "A[]"), ("float", "B[]"), ("float", "C[]"),
+        ("int", "n"),
+    ) as f:
+        with f.for_loop("t", 0, steps):
+            f.expr_stmt(f.call("phase", f.var("A"), f.var("B"), f.var("C"), f.var("n")))
+    return TemplateProgram(
+        template="geometric",
+        source=b.build().source,
+        entry="main",
+        arg_specs=_array_args(n, ("A", "rand"), ("B", "zeros"), ("C", "zeros")),
+        truth=_truth(doall=True, task=True, geometric=True),
+    )
+
+
+def t_wavefront_carried(rng: random.Random) -> TemplateProgram:
+    """fdtd-style coupled field updates: the first loop of time step t
+    reads what the second loop wrote at step t-1 — backward ``(i_x, i_y)``
+    pairs on ``Y = X``, carried by the time loop."""
+    n = rng.randrange(12, 21)
+    tmax = rng.randint(4, 6)
+    b = ProgramBuilder()
+    with b.function(
+        "void", "kernel", ("float", "E[]"), ("float", "H[]"), ("int", "n"),
+        ("int", "tmax"),
+    ) as f:
+        with f.for_loop("t", 0, f.var("tmax")):
+            with f.for_loop("i", 1, f.var("n")) as i:
+                f.assign(
+                    f.index("E", i),
+                    f.index("E", i) - 0.5 * (f.index("H", i) - f.index("H", i - 1)),
+                )
+            with f.for_loop("j", 0, f.var("n") - 1) as j:
+                f.assign(
+                    f.index("H", j),
+                    f.index("H", j) - 0.7 * (f.index("E", j + 1) - f.index("E", j)),
+                )
+    specs = [("rand", f"E:{n}"), ("rand", f"H:{n}"),
+             ("scalar", str(n)), ("scalar", str(tmax))]
+    return TemplateProgram(
+        template="wavefront_carried",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=specs,
+        truth=_truth(doall=True, pipeline=True, wavefront=True),
+    )
+
+
+def t_wavefront_skewed(rng: random.Random) -> TemplateProgram:
+    """reg_detect-style skewed pipeline: the consumer's iteration i reads
+    the producer's iteration i+1 (``a = 1, b = -1``)."""
+    n = rng.randrange(16, 33)
+    c = float(rng.randrange(2, 6))
+    b = ProgramBuilder()
+    with b.function(
+        "void", "kernel", ("float", "A[]"), ("float", "B[]"), ("float", "C[]"),
+        ("int", "n"),
+    ) as f:
+        with f.for_loop("i", 0, f.var("n")) as i:
+            f.assign(f.index("B", i), f.index("A", i) * c)
+        with f.for_loop("j", 0, f.var("n") - 1) as j:
+            f.assign(
+                f.index("C", j + 1), f.index("C", j) + f.index("B", j + 1)
+            )
+    return TemplateProgram(
+        template="wavefront_skewed",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(n, ("A", "rand"), ("B", "zeros"), ("C", "zeros")),
+        truth=_truth(doall=True, pipeline=True, wavefront=True),
+    )
+
+
+#: Registration order is the generator's round-robin order — stable across
+#: releases so a (count, seed) pair names the same corpus forever.
+TEMPLATES = (
+    t_doall,
+    t_reduction,
+    t_pipeline,
+    t_task,
+    t_geometric,
+    t_wavefront_carried,
+    t_wavefront_skewed,
+)

@@ -1,0 +1,101 @@
+"""Semantics-preserving source transforms for corpus generation.
+
+These are the metamorphic transforms the test suite proved pattern-
+invariant (consistent renaming, dead-statement insertion); the generator
+applies them after template construction so the corpus does not consist of
+pristine canonical programs only.  Both transforms re-parse and re-validate
+their output, so a transform bug surfaces at generation time, never inside
+a sweep worker.
+
+Statement permutation — the third proven transform — happens inside the
+templates themselves at generation time, where independence is known by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+
+#: Alpha-conversion applied by the renaming transform.  The targets are
+#: chosen to collide with nothing any template emits (including the
+#: ``dead<k>`` locals of :func:`insert_dead_statements`), so a single
+#: simultaneous word-boundary pass is a sound renaming for every template.
+RENAME = {
+    "A": "arr_p",
+    "B": "arr_q",
+    "C": "arr_r",
+    "D": "arr_w",
+    "E": "fld_p",
+    "H": "fld_q",
+    "x1": "out_a",
+    "y1": "in_a",
+    "x2": "out_b",
+    "y2": "in_b",
+    "s": "acc",
+    "n": "len_n",
+    "i": "idx",
+    "j": "jdx",
+    "t": "tt",
+    "tmax": "steps",
+}
+
+_RENAME_RE = re.compile(r"\b(" + "|".join(sorted(RENAME, key=len, reverse=True)) + r")\b")
+
+_FOR_HEADER_RE = re.compile(r"^(\s*)for \(.*\{\s*$")
+
+
+def _checked(source: str) -> str:
+    program = parse_program(source)
+    validate_program(program)
+    return source
+
+
+def rename_identifiers(source: str, rng: random.Random | None = None) -> str:
+    """Alpha-convert *source* under :data:`RENAME` (rng unused; the map is
+    fixed so renamed corpora stay deterministic)."""
+    return _checked(_RENAME_RE.sub(lambda m: RENAME[m.group(1)], source))
+
+
+def insert_dead_statements(source: str, rng: random.Random) -> str:
+    """Insert 1-2 dead ``int dead<k> = c * 3;`` locals into loop bodies.
+
+    Positions are the lines directly after randomly chosen ``for`` headers
+    — the printer's canonical layout makes header lines reliable anchors.
+    Dead locals are written, never read, so every detector's view of the
+    live dependence structure is unchanged (the metamorphic invariance the
+    test suite asserts).
+    """
+    lines = source.splitlines()
+    headers = [
+        (k, m.group(1)) for k, line in enumerate(lines)
+        if (m := _FOR_HEADER_RE.match(line)) is not None
+    ]
+    if not headers:
+        return source
+    # number past any dead locals already present so the transform composes
+    # with itself (generated sources may already carry one application)
+    base = 1 + max(
+        (int(m.group(1)) for m in re.finditer(r"\bdead(\d+)\b", source)),
+        default=-1,
+    )
+    n_dead = rng.randint(1, 2)
+    for d in range(base, base + n_dead):
+        k, indent = headers[rng.randrange(len(headers))]
+        lines.insert(k + 1, f"{indent}    int dead{d} = {rng.randint(1, 9)} * 3;")
+        # recompute anchors: the insert shifted everything below it
+        headers = [
+            (j, m.group(1)) for j, line in enumerate(lines)
+            if (m := _FOR_HEADER_RE.match(line)) is not None
+        ]
+    return _checked("\n".join(lines) + "\n")
+
+
+#: name -> (transform, probability the generator applies it)
+TRANSFORMS = (
+    ("rename", rename_identifiers, 0.5),
+    ("dead-statements", insert_dead_statements, 0.5),
+)

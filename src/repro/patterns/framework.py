@@ -239,6 +239,9 @@ class AnalysisResult:
     tasks: dict[int, TaskParallelism] = field(default_factory=dict)
     geometric: list[GeometricDecomposition] = field(default_factory=list)
     reductions: dict[int, list[ReductionCandidate]] = field(default_factory=dict)
+    #: wavefront / skewed-pipeline shapes (an extension beyond the paper's
+    #: six patterns — never part of the Table III primary label)
+    wavefronts: list = field(default_factory=list)
     trace: AnalysisTrace | None = None
     _hotspot_regions_cache: set[int] | None = field(
         default=None, repr=False, compare=False
@@ -554,14 +557,16 @@ class DetectorRegistry:
 
 def default_registry() -> DetectorRegistry:
     """A fresh registry with the paper's six standard detectors, in the
-    engine's historical order: loop classes, pipelines, fusion, tasks,
-    geometric decomposition, reductions."""
+    engine's historical order — loop classes, pipelines, fusion, tasks,
+    geometric decomposition, reductions — plus the wavefront extension
+    stage (whose findings stay out of the Table III primary label)."""
     from repro.patterns.doall import LoopClassesDetector
     from repro.patterns.fusion import FusionDetector
     from repro.patterns.geometric import GeometricDecompositionDetector
     from repro.patterns.pipeline import MultiLoopPipelineDetector
     from repro.patterns.reduction import ReductionDetector
     from repro.patterns.tasks import TaskParallelismDetector
+    from repro.patterns.wavefront import WavefrontDetector
 
     registry = DetectorRegistry()
     registry.register(LoopClassesDetector())
@@ -570,6 +575,7 @@ def default_registry() -> DetectorRegistry:
     registry.register(TaskParallelismDetector())
     registry.register(GeometricDecompositionDetector())
     registry.register(ReductionDetector())
+    registry.register(WavefrontDetector())
     return registry
 
 

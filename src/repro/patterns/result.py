@@ -94,6 +94,34 @@ class MultiLoopPipeline:
 
 
 @dataclass
+class WavefrontCandidate:
+    """A wavefront / skewed-pipeline shape between two dependent loops.
+
+    ``direction`` is ``'backward'`` when the writer loop lies lexically
+    after the reader loop — the dependence is then carried by the common
+    enclosing loop ``carrier`` and a wavefront schedule overlaps the
+    carrier's iterations along the diagonal — and ``'forward'`` for a
+    skewed pipeline (negative intercept: iteration i of loop y waits only
+    for iteration ``a·i + b < i`` of loop x).
+    """
+
+    loop_x: int
+    loop_y: int
+    #: region id of the common enclosing loop carrying a backward
+    #: dependence; ``None`` for forward (skewed-pipeline) shapes
+    carrier: int | None
+    a: float
+    b: float
+    r2: float
+    n_pairs: int
+    direction: str  # 'backward' | 'forward'
+
+    @property
+    def is_carried(self) -> bool:
+        return self.direction == "backward"
+
+
+@dataclass
 class FusionCandidate:
     """Two do-all loops fusable into a single do-all loop."""
 

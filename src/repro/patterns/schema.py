@@ -42,6 +42,7 @@ from repro.patterns.result import (
     MultiLoopPipeline,
     ReductionCandidate,
     TaskParallelism,
+    WavefrontCandidate,
 )
 from repro.profiling.hotspots import Hotspot
 from repro.profiling.serialize import canonical_json, profile_from_dict, profile_to_dict
@@ -153,6 +154,32 @@ def _pipeline_from_dict(d: dict[str, Any]) -> MultiLoopPipeline:
         trips_y=d["trips_y"],
         stage_x=_opt_loop_class_from_dict(d["stage_x"]),
         stage_y=_opt_loop_class_from_dict(d["stage_y"]),
+    )
+
+
+def _wavefront_to_dict(w: WavefrontCandidate) -> dict[str, Any]:
+    return {
+        "loop_x": w.loop_x,
+        "loop_y": w.loop_y,
+        "carrier": w.carrier,
+        "a": w.a,
+        "b": w.b,
+        "r2": w.r2,
+        "n_pairs": w.n_pairs,
+        "direction": w.direction,
+    }
+
+
+def _wavefront_from_dict(d: dict[str, Any]) -> WavefrontCandidate:
+    return WavefrontCandidate(
+        loop_x=d["loop_x"],
+        loop_y=d["loop_y"],
+        carrier=d["carrier"],
+        a=d["a"],
+        b=d["b"],
+        r2=d["r2"],
+        n_pairs=d["n_pairs"],
+        direction=d["direction"],
     )
 
 
@@ -376,7 +403,7 @@ def analysis_to_dict(result: AnalysisResult) -> dict[str, Any]:
             doc["pipeline"] = _pipeline_to_dict(f.pipeline)
         return doc
 
-    return {
+    doc: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "program": {"source": result.program.source},
         "profile": profile_to_dict(result.profile),
@@ -397,6 +424,13 @@ def analysis_to_dict(result: AnalysisResult) -> dict[str, Any]:
         ],
         "trace": _trace_to_dict(result.trace),
     }
+    # Tolerated extension (no version bump), mirroring ``trace.spans``: the
+    # wavefronts block appears only when the detector found something, so
+    # documents for programs without wavefront shapes — including every
+    # document written before this key existed — are byte-identical.
+    if result.wavefronts:
+        doc["wavefronts"] = [_wavefront_to_dict(w) for w in result.wavefronts]
+    return doc
 
 
 def analysis_from_dict(data: dict[str, Any]) -> AnalysisResult:
@@ -424,6 +458,7 @@ def analysis_from_dict(data: dict[str, Any]) -> AnalysisResult:
             loop: [_reduction_from_dict(c) for c in candidates]
             for loop, candidates in data["reductions"]
         },
+        wavefronts=[_wavefront_from_dict(w) for w in data.get("wavefronts", [])],
         trace=_trace_from_dict(data["trace"]),
     )
     for f in data["fusions"]:

@@ -120,6 +120,44 @@ def analysis_report(
             )
         parts.append("")
 
+    wavefronts = getattr(result, "wavefronts", [])
+    if wavefronts:
+        rows = []
+        for w in wavefronts:
+            rows.append(
+                [
+                    _region_name(result, w.loop_x),
+                    _region_name(result, w.loop_y),
+                    _region_name(result, w.carrier) if w.carrier is not None else "-",
+                    w.direction,
+                    w.a,
+                    w.b,
+                    w.r2,
+                ]
+            )
+        parts.append(
+            format_table(
+                ["loop x", "loop y", "carrier", "direction", "a", "b", "r2"],
+                rows,
+                title="Wavefront / skewed-pipeline shapes",
+            )
+        )
+        for w in wavefronts:
+            if w.is_carried:
+                parts.append(
+                    f"  {_region_name(result, w.carrier)} iterations can overlap "
+                    f"diagonally: {_region_name(result, w.loop_y)} of step t "
+                    f"needs {_region_name(result, w.loop_x)} of step t-1 only "
+                    f"up to iteration {w.a:.2f}*i{w.b:+.2f}"
+                )
+            else:
+                parts.append(
+                    f"  skewed pipeline: iteration i of "
+                    f"{_region_name(result, w.loop_y)} waits only for iteration "
+                    f"{w.a:.2f}*i{w.b:+.2f} of {_region_name(result, w.loop_x)}"
+                )
+        parts.append("")
+
     task = result.best_task_parallelism()
     if task is not None:
         parts.append(

@@ -73,12 +73,22 @@ def _parse_retry_after(hint: str | None) -> float | None:
 class ServiceError(RuntimeError):
     """An HTTP error response from the daemon."""
 
-    def __init__(self, status: int, message: str, retry_after: float | None = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: float | None = None,
+        payload: dict | None = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
         #: the server's ``Retry-After`` hint in seconds, when sent (429)
         self.retry_after = retry_after
+        #: the full JSON error document — batch submissions use the
+        #: ``accepted`` prefix of a mid-batch 429 and the per-index
+        #: ``items`` of a validation 400
+        self.payload = payload or {}
 
 
 class ServiceClient:
@@ -102,7 +112,9 @@ class ServiceClient:
         #: interactive callers should not block that long per attempt
         self.retry_after_cap = retry_after_cap
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> Any:
+    def _request(
+        self, method: str, path: str, body: dict | list | None = None
+    ) -> Any:
         data = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"X-Repro-Client": self.client_id}
         if data:
@@ -115,12 +127,17 @@ class ServiceClient:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
+                doc = json.loads(exc.read())
             except (ValueError, OSError):
-                message = str(exc)
+                doc = {}
+            if not isinstance(doc, dict):
+                doc = {}
             hint = exc.headers.get("Retry-After") if exc.headers else None
             raise ServiceError(
-                exc.code, message, retry_after=_parse_retry_after(hint)
+                exc.code,
+                doc.get("error", str(exc)),
+                retry_after=_parse_retry_after(hint),
+                payload=doc,
             ) from None
 
     def _submit(self, body: dict[str, Any]) -> dict:
@@ -213,6 +230,43 @@ class ServiceClient:
             body["names"] = list(names)
         body.setdefault("correlation_id", new_correlation_id())
         return self._submit(body)
+
+    def submit_many(self, bodies: Sequence[dict[str, Any]]) -> list[dict]:
+        """Submit a batch of jobs in one POST; one queued record per body.
+
+        Each body takes the same shape as the single-job endpoint accepts
+        (``kind`` plus its fields) and is stamped with a fresh
+        ``correlation_id`` unless it carries one.  The server validates
+        the whole batch before admitting anything — a validation failure
+        raises :class:`ServiceError` 400 whose ``payload["items"]`` names
+        every invalid index, and nothing was enqueued.  A queue-full
+        mid-batch (429) is absorbed by resubmitting only the unaccepted
+        tail, honoring ``Retry-After``, up to :attr:`retry_limit` times;
+        records accepted before the 429 are kept, never resubmitted.
+        """
+        pending = []
+        for body in bodies:
+            item = dict(body)
+            item.setdefault("correlation_id", new_correlation_id())
+            pending.append(item)
+        records: list[dict] = []
+        if not pending:
+            return records
+        attempts = 0
+        while True:
+            try:
+                doc = self._request("POST", "/v1/jobs", pending)
+                records.extend(doc["jobs"])
+                return records
+            except ServiceError as exc:
+                if exc.status != 429 or attempts >= self.retry_limit:
+                    raise
+                accepted = exc.payload.get("accepted", [])
+                records.extend(accepted)
+                pending = pending[len(accepted):]
+                attempts += 1
+                hint = exc.retry_after if exc.retry_after is not None else 1.0
+                time.sleep(max(0.0, min(hint, self.retry_after_cap)))
 
     # -- job queries -----------------------------------------------------
 

@@ -16,7 +16,13 @@ Endpoints (all JSON):
                       ``{"kind": "sweep", "names": [...]}``; identical
                       in-flight work coalesces (the 202 record carries
                       ``coalesced_with``); a full queue answers ``429``
-                      with a ``Retry-After`` header
+                      with a ``Retry-After`` header.  A JSON **array** of
+                      such objects submits a batch: all items validate
+                      before any enqueue (400 lists per-index errors and
+                      nothing is admitted), success answers 202
+                      ``{"jobs": [...]}``, and queue-full mid-batch
+                      answers 429 with the ``accepted`` prefix so clients
+                      resubmit only the tail
 ``GET /v1/jobs``      list retained jobs, **newest first** (``?state=``,
                       ``?kind=`` filters; ``?limit=N`` truncates to the
                       newest N, ``?limit=0`` is explicitly zero rows);
@@ -198,13 +204,15 @@ class AnalysisService:
         estimate = counts["queue_depth"] * avg / max(1, self.executor.workers)
         return max(1, min(60, math.ceil(estimate)))
 
-    def submit(self, body: dict[str, Any], client: str = "") -> dict[str, Any]:
-        """Validate a submission body and enqueue it.
+    def validate_submission(
+        self, body: dict[str, Any]
+    ) -> tuple[str, dict[str, Any], str | None]:
+        """Validate a submission body without enqueueing anything.
 
-        Raises :class:`ValueError` for malformed bodies (HTTP 400) and
-        lets :class:`QueueFull` propagate (HTTP 429) — admission-control
-        rejections are tallied against *client* here so every rejection
-        path is accounted.
+        Returns ``(kind, payload, correlation_id)`` ready for the job
+        store; raises :class:`ValueError` on any malformed field.  Batch
+        submissions validate every item through here *first*, so a 400
+        response guarantees nothing from the batch was enqueued.
         """
         kind = body.get("kind")
         if kind not in JOB_KINDS:
@@ -289,6 +297,21 @@ class AnalysisService:
         payload = {
             k: v for k, v in body.items() if k not in ("kind", "correlation_id")
         }
+        return kind, payload, correlation_id
+
+    def enqueue(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        correlation_id: str | None = None,
+        client: str = "",
+    ) -> dict[str, Any]:
+        """Enqueue an already-validated submission, tallying per *client*.
+
+        Lets :class:`QueueFull` propagate (HTTP 429) — admission-control
+        rejections are tallied against *client* here so every rejection
+        path is accounted.
+        """
         try:
             job = self.store.submit(kind, payload, correlation_id=correlation_id)
         except QueueFull:
@@ -300,6 +323,15 @@ class AnalysisService:
                 client, "coalesced" if job.coalesced_with is not None else "accepted"
             )
         return job.to_dict(include_result=False)
+
+    def submit(self, body: dict[str, Any], client: str = "") -> dict[str, Any]:
+        """Validate a submission body and enqueue it.
+
+        Raises :class:`ValueError` for malformed bodies (HTTP 400) and
+        lets :class:`QueueFull` propagate (HTTP 429).
+        """
+        kind, payload, correlation_id = self.validate_submission(body)
+        return self.enqueue(kind, payload, correlation_id, client=client)
 
     def stats(self) -> dict[str, Any]:
         with self._client_lock:
@@ -464,8 +496,11 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(raw_length)
             body = json.loads(self.rfile.read(length) or b"{}")
+            if isinstance(body, list):
+                self._post_batch(body)
+                return
             if not isinstance(body, dict):
-                raise ValueError("submission body must be a JSON object")
+                raise ValueError("submission body must be a JSON object or array")
             record = self.service.submit(body, client=self._client_id())
         except QueueFull as exc:
             self._error(
@@ -477,6 +512,49 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, str(exc))
             return
         self._send(202, record)
+
+    def _post_batch(self, bodies: list[Any]) -> None:
+        """A JSON array body: atomic validation, sequential admission.
+
+        Every item is validated before anything is enqueued, so a 400
+        (which names each invalid index) guarantees the batch had no
+        effect.  Admission is then sequential; a queue-full mid-batch
+        answers 429 with the records already ``accepted`` plus a
+        ``Retry-After`` hint, and the client resubmits only the tail.
+        """
+        if not bodies:
+            self._error(400, "batch submission must contain at least one job")
+            return
+        client = self._client_id()
+        parsed: list[tuple[str, dict[str, Any], str | None]] = []
+        invalid: list[dict[str, Any]] = []
+        for index, item in enumerate(bodies):
+            try:
+                if not isinstance(item, dict):
+                    raise ValueError("submission body must be a JSON object")
+                parsed.append(self.service.validate_submission(item))
+            except ValueError as exc:
+                invalid.append({"index": index, "error": str(exc)})
+        if invalid:
+            self._send(400, {
+                "error": f"{len(invalid)} invalid submission(s)",
+                "items": invalid,
+            })
+            return
+        accepted: list[dict[str, Any]] = []
+        for kind, payload, correlation_id in parsed:
+            try:
+                accepted.append(
+                    self.service.enqueue(kind, payload, correlation_id, client=client)
+                )
+            except QueueFull as exc:
+                self._send(
+                    429,
+                    {"error": str(exc), "accepted": accepted},
+                    headers={"Retry-After": str(self.service.retry_after_s())},
+                )
+                return
+        self._send(202, {"jobs": accepted})
 
     def _do_delete(self) -> None:
         path = urlparse(self.path).path.rstrip("/")

@@ -240,6 +240,35 @@ class TestRunner:
         assert record["error"]["error_type"] == "Boom"
         assert record["result"] is None
 
+    def test_grid_goes_out_as_a_single_batched_post(self, service, store):
+        svc, client = service
+        cells = default_grid(programs=SMALL, machines=("default", "slow_sync"))
+        calls = []
+        real_submit_many = client.submit_many
+
+        def recording_submit_many(bodies):
+            calls.append(len(bodies))
+            return real_submit_many(bodies)
+
+        client.submit_many = recording_submit_many
+        summary = run_campaign(store, client, "batched", cells)
+        assert summary["submitted"] == 4
+        assert calls == [4]
+
+    def test_minimal_client_falls_back_to_per_cell_submission(self, service, store):
+        svc, client = service
+
+        class MinimalClient:
+            # only the documented floor: submit_benchmark + wait
+            def submit_benchmark(self, program, **kwargs):
+                return client.submit_benchmark(program, **kwargs)
+
+            def wait(self, job_id, timeout=120.0, poll=0.1):
+                return client.wait(job_id, timeout=timeout, poll=poll)
+
+        summary = run_campaign(store, MinimalClient(), "minimal", default_grid(programs=SMALL))
+        assert summary["submitted"] == 2 and summary["failed"] == 0
+
     def test_cells_metric_counts_dispositions(self, service, store):
         from repro.obs.metrics import get_registry
 

@@ -189,6 +189,26 @@ def test_generated_programs_identical_across_engines(idx, source):
     _assert_equivalent(program, "f", args)
 
 
+def _corpus_cases():
+    from repro.corpus import generate_programs
+
+    return [(tp.template, idx, tp) for idx, tp in enumerate(generate_programs(105, 7))]
+
+
+@pytest.mark.parametrize(
+    "template,idx,tp", _corpus_cases(),
+    ids=lambda v: v if isinstance(v, str) else (str(v) if isinstance(v, int) else None),
+)
+def test_corpus_programs_identical_across_engines(template, idx, tp):
+    # the corpus templates reach shapes the ad-hoc generator above never
+    # emits (2-D fields, wavefront skews, task DAGs); digest parity must
+    # hold across all of them, transforms included
+    from repro.service.jobs import build_call_args
+
+    program = _compile(tp.source)
+    _assert_equivalent(program, tp.entry, build_call_args(tp.arg_specs, seed=0))
+
+
 # ---------------------------------------------------------------------------
 # C truncating division / modulo with negative operands
 

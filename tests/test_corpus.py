@@ -1,0 +1,331 @@
+"""The labeled corpus subsystem: generation, labels, registration, scoring.
+
+Determinism is asserted byte-for-byte (two generations of the same
+``(count, seed)`` compare equal file by file); registration is exercised
+through the public registry API including the ``REPRO_CORPUS_PATH``
+environment bridge that sweep worker processes rely on; scoring is checked
+both synthetically (confusion counting) and end-to-end (one full template
+rotation analyzed and scored perfectly against its ground truth).
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.bench_programs import registry
+from repro.corpus import (
+    generate_corpus,
+    generate_programs,
+    load_corpus,
+    register_corpus,
+    score_corpus,
+    score_csv,
+    score_entries,
+    score_table,
+    unregister_corpus,
+)
+from repro.corpus.labels import (
+    corpus_digest,
+    source_digest,
+    validate_label_record,
+    validate_manifest_record,
+)
+from repro.corpus.suite import ENV_VAR
+from repro.corpus.templates import PATTERN_DIMENSIONS, TEMPLATES
+from repro.corpus.transforms import insert_dead_statements, rename_identifiers
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    out = tmp_path / "corpus"
+    generate_corpus(len(TEMPLATES), 7, out)
+    return out
+
+
+@pytest.fixture
+def registered(corpus_dir):
+    suite = register_corpus(corpus_dir)
+    try:
+        yield suite
+    finally:
+        unregister_corpus(corpus_dir)
+
+
+def _tree(root):
+    """{relative path: bytes} for every file under *root*."""
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+class TestGeneration:
+    def test_generation_is_byte_deterministic(self, tmp_path):
+        generate_corpus(14, 7, tmp_path / "a")
+        generate_corpus(14, 7, tmp_path / "b")
+        assert _tree(tmp_path / "a") == _tree(tmp_path / "b")
+
+    def test_seed_changes_the_corpus(self, tmp_path):
+        a = generate_corpus(7, 7, tmp_path / "a")
+        b = generate_corpus(7, 8, tmp_path / "b")
+        assert a["corpus_digest"] != b["corpus_digest"]
+
+    def test_prefix_stability(self):
+        # program i depends only on (seed, i): growing the corpus never
+        # reshuffles existing programs
+        short = generate_programs(5, 7)
+        long = generate_programs(10, 7)
+        assert [p.source for p in short] == [p.source for p in long[:5]]
+
+    def test_round_robin_covers_every_template(self):
+        programs = generate_programs(len(TEMPLATES), 0)
+        assert [p.template for p in programs] == [
+            t(random.Random("x")).template for t in TEMPLATES
+        ]
+
+    def test_every_program_parses_and_validates(self):
+        for tp in generate_programs(2 * len(TEMPLATES), 3):
+            program = parse_program(tp.source)
+            validate_program(program)
+            assert set(tp.truth) == set(PATTERN_DIMENSIONS)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            generate_programs(0, 0)
+
+
+class TestRecords:
+    def test_manifest_and_labels_validate(self, corpus_dir):
+        manifest = validate_manifest_record(
+            json.loads((corpus_dir / "manifest.json").read_text())
+        )
+        assert manifest["count"] == len(TEMPLATES)
+        for item in manifest["programs"]:
+            label = validate_label_record(
+                json.loads(
+                    (corpus_dir / "labels" / f"{item['name']}.json").read_text()
+                )
+            )
+            source = (corpus_dir / "programs" / f"{item['name']}.c").read_text()
+            assert label["source_digest"] == source_digest(source)
+
+    def test_corpus_digest_is_order_independent(self):
+        digests = [source_digest(s) for s in ("a", "b", "c")]
+        assert corpus_digest(digests) == corpus_digest(list(reversed(digests)))
+
+    def test_load_rejects_tampered_source(self, corpus_dir):
+        manifest = json.loads((corpus_dir / "manifest.json").read_text())
+        victim = corpus_dir / "programs" / f"{manifest['programs'][0]['name']}.c"
+        victim.write_text(victim.read_text() + "\n")
+        with pytest.raises(ValueError, match="digest mismatch"):
+            load_corpus(corpus_dir)
+
+    def test_load_rejects_tampered_manifest(self, corpus_dir):
+        manifest = json.loads((corpus_dir / "manifest.json").read_text())
+        manifest["programs"][0]["source_digest"] = "0" * 64
+        (corpus_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="digest"):
+            load_corpus(corpus_dir)
+
+    def test_label_validation_rejects_malformed(self, corpus_dir):
+        suite = load_corpus(corpus_dir)
+        name = suite.entries[0].name
+        good = json.loads((corpus_dir / "labels" / f"{name}.json").read_text())
+        for mutation in (
+            {"schema_version": 99},
+            {"record": "job"},
+            {"name": ""},
+            {"truth": {"doall": True}},  # missing dimensions
+            {"args": [["rand"]]},  # not a pair
+        ):
+            with pytest.raises(ValueError):
+                validate_label_record({**good, **mutation})
+
+
+class TestTransforms:
+    def test_rename_is_alpha_conversion(self):
+        tp = generate_programs(1, 99)[0]
+        renamed = rename_identifiers(tp.source)
+        validate_program(parse_program(renamed))
+        assert "arr_p" in renamed or renamed == tp.source
+
+    def test_dead_statements_preserve_validity(self):
+        for index, tp in enumerate(generate_programs(len(TEMPLATES), 5)):
+            mutated = insert_dead_statements(tp.source, random.Random(index))
+            validate_program(parse_program(mutated))
+            assert "dead" in mutated
+
+    def test_transforms_recorded_in_labels(self, corpus_dir):
+        suite = load_corpus(corpus_dir)
+        applied = {t for entry in suite.entries for t in entry.transforms}
+        # over a full rotation at seed 7 both transforms fire at least once
+        assert applied <= {"rename", "dead-statements"}
+        assert applied
+
+
+class TestRegistration:
+    def test_registered_programs_resolve_as_benchmarks(self, registered):
+        for name in registered.names():
+            spec = registry.get_benchmark(name)
+            assert spec.suite == registered.name
+            assert spec.program is not None  # parses + validates
+            assert spec.arg_sets()  # build_call_args materializes
+
+    def test_registration_exports_and_unregister_cleans_env(self, corpus_dir):
+        suite = register_corpus(corpus_dir)
+        root = str(corpus_dir.resolve())
+        try:
+            assert root in os.environ.get(ENV_VAR, "").split(os.pathsep)
+        finally:
+            unregister_corpus(corpus_dir)
+        assert root not in os.environ.get(ENV_VAR, "").split(os.pathsep)
+        known = {spec.name for spec in registry.all_benchmarks()}
+        assert not known & set(suite.names())
+
+    def test_registration_is_idempotent(self, corpus_dir):
+        try:
+            first = register_corpus(corpus_dir)
+            second = register_corpus(corpus_dir)
+            assert first.names() == second.names()
+            known = [spec.name for spec in registry.all_benchmarks()]
+            for name in first.names():
+                assert known.count(name) == 1
+        finally:
+            unregister_corpus(corpus_dir)
+
+    def test_autoload_skips_stale_directories(self, tmp_path, monkeypatch):
+        from repro.corpus.suite import autoload_registered
+
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "does-not-exist"))
+        autoload_registered()  # must not raise
+        # benchmark lookups keep working with the stale env var in place
+        assert registry.get_benchmark("reg_detect").name == "reg_detect"
+
+
+class TestScoring:
+    def test_score_corpus_counts_confusion(self, corpus_dir):
+        suite = load_corpus(corpus_dir)
+        predictions = {e.name: dict(e.truth) for e in suite.entries}
+        # flip one dimension on one program: exactly one mismatch
+        victim = suite.entries[0].name
+        predictions[victim]["reduction"] = not predictions[victim]["reduction"]
+        score = score_corpus(suite, predictions)
+        assert score["record"] == "corpus_score"
+        assert score["programs"] == len(suite.entries)
+        assert len(score["mismatches"]) == 1
+        assert score["mismatches"][0]["program"] == victim
+        assert score["mismatches"][0]["dimension"] == "reduction"
+        red = score["detectors"]["reduction"]
+        assert red["fp"] + red["fn"] == 1
+        assert red["accuracy"] < 1.0
+        # untouched dimensions stay perfect
+        assert score["detectors"]["doall"]["accuracy"] == 1.0
+
+    def test_unscored_entries_are_skipped(self, corpus_dir):
+        suite = load_corpus(corpus_dir)
+        predictions = {suite.entries[0].name: dict(suite.entries[0].truth)}
+        score = score_corpus(suite, predictions)
+        assert score["programs"] == 1
+
+    def test_render_table_and_csv(self, corpus_dir):
+        suite = load_corpus(corpus_dir)
+        score = score_corpus(
+            suite, {e.name: dict(e.truth) for e in suite.entries}
+        )
+        text = score_table(score)
+        assert "Corpus score" in text and "wavefront" in text
+        csv_text = score_csv(score)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("detector,")
+        assert len(lines) == 1 + len(PATTERN_DIMENSIONS)
+
+    def test_full_rotation_scores_perfectly(self, corpus_dir):
+        # one program per template, transforms applied, analyzed for real:
+        # the detectors must agree with the constructed ground truth
+        suite = load_corpus(corpus_dir)
+        score = score_entries(suite)
+        assert score["mismatches"] == []
+        for dim in PATTERN_DIMENSIONS:
+            assert score["detectors"][dim]["precision"] == 1.0
+            assert score["detectors"][dim]["recall"] == 1.0
+
+
+class TestCli:
+    def test_generate_and_score_cli_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "cli-corpus")
+        assert main([
+            "corpus", "generate", "--count", str(len(TEMPLATES)),
+            "--seed", "7", "--out", out, "--json", "--compact",
+        ]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["record"] == "corpus_manifest"
+
+        # regeneration is byte-identical (the CLI determinism acceptance)
+        assert main([
+            "corpus", "generate", "--count", str(len(TEMPLATES)),
+            "--seed", "7", "--out", str(tmp_path / "again"),
+        ]) == 0
+        capsys.readouterr()
+        assert _tree(tmp_path / "cli-corpus") == _tree(tmp_path / "again")
+
+        assert main([
+            "corpus", "score", out, "--json", "--compact",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        score = json.loads(capsys.readouterr().out)
+        assert score["mismatches"] == []
+        assert score["corpus_digest"] == manifest["corpus_digest"]
+
+    def test_score_cli_rejects_missing_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["corpus", "score", str(tmp_path / "nope")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestCampaignIntegration:
+    def test_campaign_runs_over_a_corpus_directory(self, corpus_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "c.sqlite")
+        argv = [
+            "campaign", "run", "--name", "corpus-campaign",
+            "--corpus", str(corpus_dir),
+            "--db", db, "--cache-dir", str(tmp_path / "cache"),
+        ]
+        try:
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert f"{len(TEMPLATES)} cell(s)" in out
+            assert f"{len(TEMPLATES)} submitted" in out
+
+            # identical rerun resumes every cell — digest reuse intact
+            assert main(argv) == 0
+            assert f"{len(TEMPLATES)} already done" in capsys.readouterr().out
+        finally:
+            unregister_corpus(corpus_dir)
+
+    def test_corpus_sweep_through_the_service(self, registered, tmp_path):
+        # the env bridge: service workers resolve corpus names themselves
+        from repro.service.client import ServiceClient
+        from repro.service.server import AnalysisService
+
+        svc = AnalysisService(port=0, workers=2, cache_dir=str(tmp_path / "cache"))
+        svc.start_background()
+        try:
+            client = ServiceClient(svc.url)
+            client.wait_healthy(timeout=10.0)
+            names = registered.names()[:3]
+            job = client.submit_sweep(names=names)
+            record = client.wait(job["id"], timeout=120.0)
+            assert record["state"] == "done"
+            assert [r["name"] for r in record["result"]] == names
+        finally:
+            svc.shutdown()

@@ -20,7 +20,12 @@ from repro.profiling.runner import profile_runs
 
 from conftest import parsed
 
-LEGACY_ORDER = ["loop-classes", "pipelines", "fusion", "tasks", "geometric", "reductions"]
+# the six legacy stages in engine order, plus the wavefront stage that
+# rides after them (requires=("pipelines",), registered last)
+LEGACY_ORDER = [
+    "loop-classes", "pipelines", "fusion", "tasks", "geometric",
+    "reductions", "wavefronts",
+]
 
 REDUCTION_SRC = """\
 float total(float A[], int n) {

@@ -85,6 +85,18 @@ def structural(node):
 
 
 class TestRoundTrip:
+    def test_corpus_programs_roundtrip(self):
+        # 100+ seeded corpus programs (templates × metamorphic transforms)
+        # fuzz the printer far beyond the handwritten samples
+        from repro.corpus import generate_programs
+
+        for tp in generate_programs(105, 20260808):
+            first = parse_program(tp.source)
+            printed = format_program(first)
+            assert structural(parse_program(printed)) == structural(first), tp.template
+            assert format_program(parse_program(printed)) == printed
+
+
     def test_samples_roundtrip(self):
         for src in SAMPLES:
             first = parse_program(src)

@@ -548,6 +548,126 @@ class TestAdmissionControl:
         assert 'repro_client_requests_total{client="alice",outcome="accepted"}' in text
 
 
+class TestBatchSubmission:
+    """JSON-array bodies on POST /v1/jobs and ServiceClient.submit_many."""
+
+    def test_batch_round_trip(self, client):
+        records = client.submit_many([
+            {"kind": "source", "source": SRC, "entry": "total",
+             "args": SRC_ARGS, "seed": 301},
+            {"kind": "source", "source": SRC, "entry": "total",
+             "args": SRC_ARGS, "seed": 302},
+            {"kind": "bench", "name": "reg_detect"},
+        ])
+        assert len(records) == 3
+        assert all(r["record"] == "job" for r in records)
+        # every body was stamped with its own correlation id
+        assert len({r["correlation_id"] for r in records}) == 3
+        finals = [client.wait(r["id"], timeout=120.0) for r in records]
+        assert all(r["state"] == "done" for r in finals)
+        assert finals[2]["result"]["label"] == "Multi-loop pipeline"
+
+    def test_batch_validation_is_atomic(self, client):
+        """One bad item fails the whole batch with per-index errors and
+        provably enqueues nothing."""
+        before = {r["id"] for r in client.jobs()}
+        with pytest.raises(ServiceError) as exc:
+            client.submit_many([
+                {"kind": "bench", "name": "reg_detect"},          # valid
+                {"kind": "bench", "name": "no_such_benchmark"},   # invalid
+                {"kind": "mystery"},                              # invalid
+            ])
+        assert exc.value.status == 400
+        assert "2 invalid submission(s)" in exc.value.message
+        items = exc.value.payload["items"]
+        assert [item["index"] for item in items] == [1, 2]
+        assert "no_such_benchmark" in items[0]["error"]
+        # the valid first item was NOT admitted
+        assert {r["id"] for r in client.jobs()} == before
+
+    def test_batch_non_object_item_rejected(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/jobs", [42])
+        assert exc.value.status == 400
+        assert exc.value.payload["items"][0]["index"] == 0
+
+    def test_empty_batch_rejected_by_server(self, client):
+        # the client short-circuits []; the wire protocol still answers 400
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/jobs", [])
+        assert exc.value.status == 400
+        # and the client-side short circuit performs no request at all
+        assert client.submit_many([]) == []
+
+    @pytest.fixture
+    def bounded(self, tmp_path):
+        svc = AnalysisService(
+            port=0, workers=1, cache_dir=str(tmp_path / "cache"), max_queue=1
+        )
+        svc.start_background()
+        try:
+            c = ServiceClient(svc.url, retry_limit=0)
+            c.wait_healthy(timeout=5.0)
+            yield svc, c
+        finally:
+            svc.shutdown()
+
+    def _saturate(self, client):
+        import time as _time
+
+        running = client.submit_source(SLOW_SRC, entry="mm", args=SLOW_ARGS, seed=211)
+        deadline = _time.monotonic() + 30.0
+        while client.job(running["id"])["state"] != "running":
+            assert _time.monotonic() < deadline, "job never started running"
+            _time.sleep(0.02)
+        queued = client.submit_source(SLOW_SRC, entry="mm", args=SLOW_ARGS, seed=212)
+        return running, queued
+
+    def test_queue_full_mid_batch_returns_accepted_prefix(self, bounded):
+        svc, client = bounded
+        _, queued = self._saturate(client)
+        # first item coalesces with the queued job (bypasses the bound and
+        # is deterministically accepted); the second hits the full queue
+        with pytest.raises(ServiceError) as exc:
+            client.submit_many([
+                {"kind": "source", "source": SLOW_SRC, "entry": "mm",
+                 "args": SLOW_ARGS, "seed": 212,
+                 "correlation_id": queued["correlation_id"]},
+                {"kind": "source", "source": SRC, "entry": "total",
+                 "args": SRC_ARGS, "seed": 213},
+            ])
+        assert exc.value.status == 429
+        assert exc.value.retry_after is not None and exc.value.retry_after >= 1
+        accepted = exc.value.payload["accepted"]
+        assert len(accepted) == 1
+        assert accepted[0]["coalesced_with"] == queued["id"]
+
+    def test_submit_many_retries_only_the_tail(self, bounded):
+        svc, client = bounded
+        _, queued = self._saturate(client)
+        # free the queue slot shortly after the first 429
+        threading.Timer(0.3, lambda: client.cancel(queued["id"])).start()
+        retrying = ServiceClient(
+            svc.url, retry_limit=10, retry_after_cap=0.2, client_id="batch-retrier"
+        )
+        records = retrying.submit_many([
+            {"kind": "source", "source": SLOW_SRC, "entry": "mm",
+             "args": SLOW_ARGS, "seed": 212,
+             "correlation_id": queued["correlation_id"]},
+            {"kind": "source", "source": SRC, "entry": "total",
+             "args": SRC_ARGS, "seed": 214},
+        ])
+        assert len(records) == 2
+        # head accepted on the first attempt (coalesced), tail after retry —
+        # and the head was never resubmitted (no duplicate job ids)
+        assert records[0]["coalesced_with"] == queued["id"]
+        assert records[1]["coalesced_with"] is None
+        assert len({r["id"] for r in records}) == 2
+        tallies = client.stats()["clients"]["batch-retrier"]
+        assert tallies["rejected"] >= 1
+        assert tallies["accepted"] >= 1
+
+
 class TestCliCommands:
     def test_submit_jobs_result_cli(self, service, client, tmp_path, capsys):
         path = tmp_path / "total.minic"

@@ -1,0 +1,181 @@
+"""Wavefront / skewed-pipeline detection: real subjects + corpus truth.
+
+fdtd-2d and reg_detect are the real positives (the carried and skewed
+shapes respectively), ludcmp the plain-pipeline negative; the generated
+wavefront templates then validate the detector against constructed ground
+truth across seeds.  Table III safety — the wavefront stage never touches
+the primary label — is asserted on every subject.
+"""
+
+import random
+
+import pytest
+
+from repro.bench_programs.registry import analyze_benchmark
+from repro.corpus.score import analyze_entry, predicted_patterns
+from repro.corpus.suite import CorpusEntry
+from repro.corpus.templates import t_doall, t_wavefront_carried, t_wavefront_skewed
+from repro.patterns.engine import summarize_patterns
+from repro.patterns.schema import analysis_from_dict, analysis_to_dict
+from repro.patterns.wavefront import MIN_WAVEFRONT_R2, common_carrier
+
+
+def _entry_for(tp):
+    """Wrap a TemplateProgram as the CorpusEntry analyze_entry expects."""
+    from repro.corpus.labels import source_digest
+
+    return CorpusEntry(
+        name=f"test-{tp.template}",
+        template=tp.template,
+        source=tp.source,
+        entry=tp.entry,
+        arg_specs=tuple(tp.arg_specs),
+        truth=tp.truth,
+        transforms=tuple(tp.transforms),
+        source_digest=source_digest(tp.source),
+    )
+
+
+class TestRealSubjects:
+    def test_fdtd2d_accepts_carried_wavefronts(self):
+        result = analyze_benchmark("fdtd-2d")
+        carried = [w for w in result.wavefronts if w.direction == "backward"]
+        assert carried, "fdtd-2d's time-carried field coupling must be found"
+        # every carried wavefront names its carrier loop and fits tightly
+        for w in carried:
+            assert w.carrier is not None
+            assert w.is_carried
+            assert w.a > 0
+            assert w.r2 >= MIN_WAVEFRONT_R2
+        # the hz(t-1) -> ey(t)/ex(t) couplings share the time loop carrier
+        assert len({w.carrier for w in carried}) == 1
+
+    def test_reg_detect_accepts_skewed_forward(self):
+        result = analyze_benchmark("reg_detect")
+        skewed = [w for w in result.wavefronts if w.direction == "forward"]
+        assert skewed, "reg_detect's a=1, b=-1 skew must be found"
+        for w in skewed:
+            assert w.carrier is None
+            assert not w.is_carried
+            assert w.a == pytest.approx(1.0)
+            assert w.b < 0
+
+    def test_ludcmp_plain_pipeline_rejected(self):
+        # ludcmp's forward dependence fits a=1, b=0: a plain pipeline, not
+        # a skewed one — the no-skew-offset gate must reject it
+        result = analyze_benchmark("ludcmp")
+        assert result.wavefronts == []
+        rejections = [
+            ev for ev in result.trace.for_detector("wavefronts")
+            if not ev.accepted
+        ]
+        assert any(ev.reason == "no-skew-offset" for ev in rejections)
+
+    def test_primary_labels_unchanged_by_wavefront_stage(self):
+        # Table III safety: wavefronts ride along, the label never moves
+        from repro.bench_programs.registry import get_benchmark
+
+        for name in ("fdtd-2d", "reg_detect", "ludcmp"):
+            result = analyze_benchmark(name)
+            assert summarize_patterns(result) == get_benchmark(name).expected_label
+
+
+class TestEvidence:
+    def test_accepted_evidence_names_the_deciding_threshold(self):
+        result = analyze_benchmark("fdtd-2d")
+        accepted = [
+            ev for ev in result.trace.for_detector("wavefronts") if ev.accepted
+        ]
+        assert accepted
+        for ev in accepted:
+            assert ev.kind == "wavefront"
+            assert ev.threshold == "MIN_WAVEFRONT_R2"
+            assert ev.threshold_value == MIN_WAVEFRONT_R2
+            assert ev.observed is not None and ev.observed >= MIN_WAVEFRONT_R2
+            assert ev.reason in (
+                "carried-affine-dependence", "skewed-forward-dependence"
+            )
+
+    def test_stage_counters_balance(self):
+        result = analyze_benchmark("fdtd-2d")
+        stage = result.trace.stage("wavefronts")
+        assert stage is not None
+        counters = stage.counters
+        assert counters["accepted"] == len(result.wavefronts)
+        assert counters["accepted"] + counters["rejected"] == counters["candidates"]
+
+
+class TestSchema:
+    def test_wavefronts_round_trip(self):
+        result = analyze_benchmark("fdtd-2d")
+        doc = analysis_to_dict(result)
+        assert "wavefronts" in doc
+        restored = analysis_from_dict(doc)
+        assert len(restored.wavefronts) == len(result.wavefronts)
+        for original, loaded in zip(result.wavefronts, restored.wavefronts):
+            assert (loaded.loop_x, loaded.loop_y) == (original.loop_x, original.loop_y)
+            assert loaded.carrier == original.carrier
+            assert loaded.direction == original.direction
+            assert loaded.a == original.a and loaded.b == original.b
+            assert loaded.r2 == original.r2
+
+    def test_key_is_a_tolerated_extension(self):
+        # absent on wavefront-free programs, and old documents without the
+        # key load with an empty list — the trace.spans convention
+        result = analyze_benchmark("gesummv")
+        doc = analysis_to_dict(result)
+        assert "wavefronts" not in doc
+        assert analysis_from_dict(doc).wavefronts == []
+
+
+class TestCorpusTemplates:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_carried_template_detected(self, seed):
+        tp = t_wavefront_carried(random.Random(f"wf:{seed}"))
+        result = analyze_entry(_entry_for(tp))
+        assert any(w.direction == "backward" for w in result.wavefronts)
+        assert predicted_patterns(result)["wavefront"] is True
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_skewed_template_detected(self, seed):
+        tp = t_wavefront_skewed(random.Random(f"wf:{seed}"))
+        result = analyze_entry(_entry_for(tp))
+        skewed = [w for w in result.wavefronts if w.direction == "forward"]
+        assert skewed and all(w.b < 0 for w in skewed)
+
+    def test_doall_template_has_no_wavefronts(self):
+        tp = t_doall(random.Random("wf:neg"))
+        result = analyze_entry(_entry_for(tp))
+        assert result.wavefronts == []
+        assert predicted_patterns(result)["wavefront"] is False
+
+
+class TestCarrierHelper:
+    def test_common_carrier_finds_innermost_shared_loop(self):
+        from repro.lang.parser import parse_program
+        from repro.lang.validate import validate_program
+
+        program = parse_program(
+            """\
+void k(float A[], float B[], int n, int t) {
+    for (int s = 0; s < t; s++) {
+        for (int i = 0; i < n; i++) {
+            A[i] = A[i] + 1.0;
+        }
+        for (int j = 0; j < n; j++) {
+            B[j] = A[j] * 2.0;
+        }
+    }
+}
+"""
+        )
+        validate_program(program)
+        loops = sorted(
+            (r.line, rid)
+            for rid, r in program.regions.items()
+            if r.kind == "loop"
+        )
+        outer, inner_i, inner_j = [rid for _, rid in loops]
+        assert common_carrier(program, inner_i, inner_j) == outer
+        # the outer loop itself shares no enclosing loop with its children
+        assert common_carrier(program, outer, outer) is None
