@@ -352,6 +352,46 @@ def _engine_compare() -> dict:
     }
 
 
+def _learned_compare() -> dict:
+    """Price the learned-baseline pipeline and record its held-out quality:
+    corpus generation, feature extraction + training, and the
+    learned-vs-rules evaluation on a fixed-seed adversarial corpus.  The
+    F1 numbers double as a drift canary next to the CI gate in
+    ``benchmarks/learn_smoke.py`` (which enforces >= 0.8)."""
+    from repro.corpus import generate_corpus, load_corpus
+    from repro.learn import evaluate_corpus, train_on_corpus
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-learn-") as work:
+        t0 = time.perf_counter()
+        generate_corpus(40, 7, pathlib.Path(work) / "corpus", adversarial=True)
+        suite = load_corpus(pathlib.Path(work) / "corpus")
+        generate_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        model = train_on_corpus(suite, kind="logistic", seed=7, holdout=0.3)
+        train_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        doc = evaluate_corpus(suite, kind="logistic", seed=7)
+        eval_s = time.perf_counter() - t0
+
+    return {
+        "corpus": doc["corpus"],
+        "programs": len(suite.entries),
+        "held_out": doc["split"]["held_out"],
+        "generate_s": round(generate_s, 4),
+        "train_s": round(train_s, 4),
+        "eval_s": round(eval_s, 4),
+        "model_digest": model.model_digest,
+        "learned_f1": {
+            dim: doc["learned"][dim]["f1"] for dim in sorted(doc["learned"])
+        },
+        "rules_f1": {
+            dim: doc["rules"][dim]["f1"] for dim in sorted(doc["rules"])
+        },
+    }
+
+
 def _obs_overhead(repeats: int = 3) -> dict:
     """Price the observability layer itself: best-of-N warm-cache registry
     sweeps with instrumentation live versus :func:`set_enabled(False)`.
@@ -434,6 +474,7 @@ def main() -> int:
     engines = _engine_compare()
     obs = _obs_overhead()
     campaign = _campaign_overhead()
+    learned = _learned_compare()
     report = {
         "baseline": BASELINE,
         "commit": _git_commit(),
@@ -442,6 +483,7 @@ def main() -> int:
         "campaign_overhead": campaign,
         "obs_overhead": obs,
         "engine_compare": engines,
+        "learned_compare": learned,
         "optimized": e2e,
         "speedup_vs_baseline": {
             "cold_serial": round(BASELINE["seconds"] / e2e["cold_serial"], 3),
@@ -483,6 +525,13 @@ def main() -> int:
         f"budget {campaign['budget_pct']:.0f}%); one-time service pass "
         f"{campaign['campaign_service_s']:.2f}s "
         f"({campaign['service_pass_overhead_pct']:+.1f}%)"
+    )
+    print(
+        f"learned compare ({learned['programs']} programs, "
+        f"{learned['held_out']} held out): train {learned['train_s']:.2f}s, "
+        f"eval {learned['eval_s']:.2f}s, doall/reduction F1 "
+        f"{learned['learned_f1']['doall']:.2f}/"
+        f"{learned['learned_f1']['reduction']:.2f}"
     )
     return (
         0

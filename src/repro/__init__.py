@@ -31,7 +31,7 @@ paper-vs-measured record.
 # (pyproject's dynamic version), the CLI's --version flag, and the service's
 # GET /v1/version endpoint all read this constant.  Defined before the
 # submodule imports below so they may `from repro import __version__`.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.api import analyze_source, analysis_report, compile_source
 from repro.patterns.engine import AnalysisResult, analyze, summarize_patterns

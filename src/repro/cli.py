@@ -669,7 +669,10 @@ def _cmd_corpus_generate(args: argparse.Namespace) -> int:
     if args.count < 1:
         print("corpus generate: --count must be >= 1", file=sys.stderr)
         return 2
-    manifest = generate_corpus(args.count, args.seed, args.out, name=args.name)
+    manifest = generate_corpus(
+        args.count, args.seed, args.out, name=args.name,
+        adversarial=args.adversarial,
+    )
     if args.json:
         _print_doc(args, manifest)
     else:
@@ -709,6 +712,92 @@ def _register_cli_corpus(command: str, directory: str):
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"{command}: cannot load corpus {directory!r}: {exc}", file=sys.stderr)
         return None, 2
+
+
+# -- learn commands ------------------------------------------------------
+
+def _load_corpus_or_fail(command: str, directory: str):
+    """Shared corpus loader for the learn commands: (suite, exit_code)."""
+    from repro.corpus import load_corpus
+
+    try:
+        return load_corpus(directory), None
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"{command}: cannot load corpus {directory!r}: {exc}",
+              file=sys.stderr)
+        return None, 2
+
+
+def _cmd_learn_features(args: argparse.Namespace) -> int:
+    from repro.learn import corpus_features, features_csv, features_table
+
+    suite, code = _load_corpus_or_fail("learn features", args.dir)
+    if suite is None:
+        return code
+    doc = corpus_features(
+        suite, cache=_make_cache(args), engine=args.engine,
+        parallel=args.parallel,
+    )
+    if args.json:
+        _print_doc(args, doc)
+    elif args.csv:
+        print(features_csv(doc), end="")
+    else:
+        print(features_table(doc))
+    return 0
+
+
+def _cmd_learn_train(args: argparse.Namespace) -> int:
+    from repro.learn import train_on_corpus
+
+    suite, code = _load_corpus_or_fail("learn train", args.dir)
+    if suite is None:
+        return code
+    try:
+        model = train_on_corpus(
+            suite, kind=args.model, seed=args.seed, holdout=args.holdout,
+            cache=_make_cache(args), engine=args.engine,
+            parallel=args.parallel,
+        )
+    except ValueError as exc:
+        print(f"learn train: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        model.save(args.out)
+    if args.json:
+        _print_doc(args, model.doc)
+    else:
+        where = f" -> {args.out}" if args.out else ""
+        print(
+            f"trained {model.kind} on {suite.name!r} "
+            f"({model.doc['examples']} program(s), seed {args.seed}); "
+            f"digest {model.model_digest[:12]}{where}"
+        )
+    return 0
+
+
+def _cmd_learn_eval(args: argparse.Namespace) -> int:
+    from repro.learn import comparison_csv, comparison_table, evaluate_corpus
+
+    suite, code = _load_corpus_or_fail("learn eval", args.dir)
+    if suite is None:
+        return code
+    try:
+        doc = evaluate_corpus(
+            suite, kind=args.model, seed=args.seed, holdout=args.holdout,
+            cache=_make_cache(args), engine=args.engine,
+            parallel=args.parallel,
+        )
+    except ValueError as exc:
+        print(f"learn eval: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_doc(args, doc)
+    elif args.csv:
+        print(comparison_csv(doc), end="")
+    else:
+        print(comparison_table(doc))
+    return 0
 
 
 # -- campaign commands ---------------------------------------------------
@@ -1253,6 +1342,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="corpus directory (created if needed)")
     p_cgen.add_argument("--name", default=None,
                         help="corpus name (default: corpus-s<seed>-n<count>)")
+    p_cgen.add_argument("--adversarial", action="store_true",
+                        help="include the near-miss adversarial templates in "
+                             "the round-robin rotation (default name gains "
+                             "an adv- prefix)")
     _add_json_flags(p_cgen)
     p_cgen.set_defaults(func=_cmd_corpus_generate)
 
@@ -1271,6 +1364,71 @@ def main(argv: list[str] | None = None) -> int:
     _add_engine_flag(p_cscore)
     _add_json_flags(p_cscore)
     p_cscore.set_defaults(func=_cmd_corpus_score)
+
+    p_learn = sub.add_parser(
+        "learn", help="learned detection baseline: extract features, train "
+                      "classifiers, and judge them against the rule-based "
+                      "detectors (docs/learned.md)"
+    )
+    learn_sub = p_learn.add_subparsers(dest="learn_command", required=True)
+
+    def _add_learn_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("dir", metavar="DIR", help="corpus directory")
+        sub_parser.add_argument("--cache-dir", default=None,
+                                help="profile cache directory (default: "
+                                     "$REPRO_PROFILE_CACHE or "
+                                     "~/.cache/repro/profiles)")
+        sub_parser.add_argument("--no-cache", action="store_true",
+                                help="always re-run the instrumented engine")
+        sub_parser.add_argument("--parallel", action="store_true",
+                                help="extract features with a process pool "
+                                     "(output is byte-identical to serial)")
+        _add_engine_flag(sub_parser)
+        _add_json_flags(sub_parser)
+
+    def _add_learn_model_flags(sub_parser: argparse.ArgumentParser,
+                               default_holdout: float) -> None:
+        from repro.learn import MODEL_KINDS
+
+        sub_parser.add_argument("--model", choices=list(MODEL_KINDS),
+                                default="logistic",
+                                help="classifier family (default: logistic)")
+        sub_parser.add_argument("--seed", type=int, default=7,
+                                help="split/training seed (default: 7)")
+        sub_parser.add_argument("--holdout", type=float,
+                                default=default_holdout,
+                                help="fraction of the corpus held out of "
+                                     f"training (default: {default_holdout})")
+
+    p_lfeat = learn_sub.add_parser(
+        "features", help="extract the versioned feature vector for every "
+                         "corpus program"
+    )
+    _add_learn_common(p_lfeat)
+    p_lfeat.add_argument("--csv", action="store_true",
+                         help="emit one row per program with all features")
+    p_lfeat.set_defaults(func=_cmd_learn_features)
+
+    p_ltrain = learn_sub.add_parser(
+        "train", help="train a model artifact on a corpus (byte-deterministic "
+                      "for fixed seed and corpus)"
+    )
+    _add_learn_common(p_ltrain)
+    _add_learn_model_flags(p_ltrain, default_holdout=0.0)
+    p_ltrain.add_argument("--out", default=None, metavar="FILE",
+                          help="write the JSON model artifact here")
+    p_ltrain.set_defaults(func=_cmd_learn_train)
+
+    p_leval = learn_sub.add_parser(
+        "eval", help="train on the corpus' train split and report per-pattern "
+                     "precision/recall/F1 for the learned model and the "
+                     "rule-based detectors on the same held-out programs"
+    )
+    _add_learn_common(p_leval)
+    _add_learn_model_flags(p_leval, default_holdout=0.3)
+    p_leval.add_argument("--csv", action="store_true",
+                         help="emit the comparison table as CSV")
+    p_leval.set_defaults(func=_cmd_learn_eval)
 
     args = parser.parse_args(argv)
     return args.func(args)

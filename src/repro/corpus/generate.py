@@ -33,7 +33,7 @@ from repro.corpus.labels import (
     manifest_record,
     source_digest,
 )
-from repro.corpus.templates import TEMPLATES, TemplateProgram
+from repro.corpus.templates import ADVERSARIAL_TEMPLATES, TEMPLATES, TemplateProgram
 from repro.corpus.transforms import TRANSFORMS
 
 
@@ -43,18 +43,26 @@ def _program_name(index: int, template: str, digest: str) -> str:
     return f"c{index:03d}-{template.replace('_', '-')}-{digest[:8]}"
 
 
-def generate_programs(count: int, seed: int) -> list[TemplateProgram]:
+def generate_programs(
+    count: int, seed: int, adversarial: bool = False
+) -> list[TemplateProgram]:
     """Generate *count* labeled programs in memory (no filesystem).
 
     This is the generator's core, shared by ``repro corpus generate`` and
-    the fuzzing tests that draw corpus programs directly.
+    the fuzzing tests that draw corpus programs directly.  With
+    *adversarial*, the near-miss templates join the round-robin rotation
+    (after the base seven, so prefixes still cover every true pattern);
+    the flag changes the rotation length, so adversarial corpora are a
+    distinct deterministic family from plain ones — a plain ``(count,
+    seed)`` corpus keeps its bytes forever either way.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
+    rotation = TEMPLATES + ADVERSARIAL_TEMPLATES if adversarial else TEMPLATES
     programs: list[TemplateProgram] = []
     for index in range(count):
         rng = random.Random(f"{seed}:{index}")
-        template = TEMPLATES[index % len(TEMPLATES)]
+        template = rotation[index % len(rotation)]
         tp = template(rng)
         for name, transform, probability in TRANSFORMS:
             if rng.random() < probability:
@@ -74,20 +82,28 @@ def _dump_json(path: Path, doc: dict[str, Any]) -> None:
 
 
 def generate_corpus(
-    count: int, seed: int, out_dir: str | Path, name: str | None = None
+    count: int,
+    seed: int,
+    out_dir: str | Path,
+    name: str | None = None,
+    adversarial: bool = False,
 ) -> dict[str, Any]:
     """Generate a corpus into *out_dir*; returns the manifest record.
 
     The directory is created if needed; existing files with the same names
     are overwritten (regeneration is idempotent by determinism).  *name*
-    defaults to ``corpus-s<seed>-n<count>``.
+    defaults to ``corpus-s<seed>-n<count>`` (``adv-`` prefixed when the
+    adversarial rotation is enabled).
     """
     out = Path(out_dir)
     (out / "programs").mkdir(parents=True, exist_ok=True)
     (out / "labels").mkdir(parents=True, exist_ok=True)
-    corpus_name = name or f"corpus-s{seed}-n{count}"
+    default = f"corpus-s{seed}-n{count}"
+    if adversarial:
+        default = f"adv-{default}"
+    corpus_name = name or default
     entries: list[dict[str, str]] = []
-    for index, tp in enumerate(generate_programs(count, seed)):
+    for index, tp in enumerate(generate_programs(count, seed, adversarial)):
         digest = source_digest(tp.source)
         prog_name = _program_name(index, tp.template, digest)
         (out / "programs" / f"{prog_name}.c").write_text(tp.source, encoding="utf-8")

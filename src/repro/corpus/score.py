@@ -98,12 +98,17 @@ def score_corpus(
     for dim, cell in per.items():
         tp, fp, fn, tn = cell["tp"], cell["fp"], cell["fn"], cell["tn"]
         total = tp + fp + fn + tn
+        # Undefined metrics are reported as null, not defaulted: an
+        # all-negative corpus has no positive predictions or truths, and
+        # pretending precision is 1.0 there would let a detector that never
+        # fires look perfect.  ``format_table`` renders None as ``-`` and
+        # the csv writer as an empty cell.
         detectors[dim] = {
             **cell,
-            "precision": tp / (tp + fp) if tp + fp else 1.0,
-            "recall": tp / (tp + fn) if tp + fn else 1.0,
-            "f1": 2 * tp / (2 * tp + fp + fn) if 2 * tp + fp + fn else 1.0,
-            "accuracy": (tp + tn) / total if total else 1.0,
+            "precision": tp / (tp + fp) if tp + fp else None,
+            "recall": tp / (tp + fn) if tp + fn else None,
+            "f1": 2 * tp / (2 * tp + fp + fn) if 2 * tp + fp + fn else None,
+            "accuracy": (tp + tn) / total if total else None,
         }
     return {
         "schema_version": SCHEMA_VERSION,

@@ -296,3 +296,120 @@ TEMPLATES = (
     t_wavefront_carried,
     t_wavefront_skewed,
 )
+
+
+# ---------------------------------------------------------------------------
+# adversarial near-miss templates
+# ---------------------------------------------------------------------------
+#
+# Each constructs a shape *one step away* from a real pattern and stamps the
+# corresponding dimension False by construction, so precision cannot saturate
+# on pattern-shaped surface features alone.  They live in a separate family
+# (enabled with ``generate --adversarial``) rather than in TEMPLATES: adding
+# them to the base rotation would reshuffle template assignment for every
+# existing (count, seed) corpus name.
+
+
+def t_almost_reduction(rng: random.Random) -> TemplateProgram:
+    """A prefix sum: the accumulator escapes into ``B`` each iteration.
+
+    Shaped exactly like :func:`t_reduction` plus one statement, but the
+    same-iteration read of ``s`` at another line makes each iteration's
+    value observable — reordering iterations changes ``B``, so this is NOT
+    a reduction (Algorithm 3's loop-independent-RAW refinement rejects it)
+    and the carried flow on ``s`` keeps the loop sequential.
+    """
+    n = rng.randrange(16, 41)
+    square = rng.random() < 0.5
+    b = ProgramBuilder()
+    with b.function(
+        "float", "kernel", ("float", "A[]"), ("float", "B[]"), ("int", "n")
+    ) as f:
+        acc = f.declare("float", "s", 0.0)
+        with f.for_loop("i", 0, f.var("n")) as i:
+            term = f.index("A", i) * f.index("A", i) if square else f.index("A", i)
+            f.add_assign(acc, term)
+            f.assign(f.index("B", i), acc)  # the escaping read
+        f.ret(acc)
+    return TemplateProgram(
+        template="almost_reduction",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(n, ("A", "rand"), ("B", "zeros")),
+        truth=_truth(),  # all False: a prefix sum is none of the patterns
+    )
+
+
+def t_false_doall(rng: random.Random) -> TemplateProgram:
+    """A mostly-independent loop with ONE rare carried dependence.
+
+    Iteration ``m`` writes ``A[m + 1]``, which iteration ``m + 1`` reads —
+    a single dynamic RAW occurrence carried by the loop.  Every per-trip
+    dependence-density feature is within noise of a clean do-all, but the
+    dependence is real: iteration ``m + 1`` cannot run before ``m``, so
+    ``doall`` is False by construction (and dynamically observed — the
+    profiler sees even one occurrence).
+    """
+    n = rng.randrange(16, 41)
+    c = float(rng.randrange(2, 6))
+    m = rng.randrange(4, n - 2)
+    b = ProgramBuilder()
+    with b.function(
+        "void", "kernel", ("float", "A[]"), ("float", "B[]"), ("int", "n")
+    ) as f:
+        with f.for_loop("i", 0, f.var("n")) as i:
+            f.assign(f.index("B", i), f.index("A", i) * c)
+            with f.if_then(i.eq(m)):
+                f.assign(f.index("A", m + 1), f.index("B", i) + 1.0)
+    return TemplateProgram(
+        template="false_doall",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(n, ("A", "rand"), ("B", "zeros")),
+        truth=_truth(),  # all False: one carried dependence breaks do-all
+    )
+
+
+def t_near_wavefront(rng: random.Random) -> TemplateProgram:
+    """A producer/consumer pair whose cross-loop affinity is broken.
+
+    The consumer reads the producer through a modular scramble
+    (``B[(j * q) % n]``), so consumer iteration 1 may already need one of
+    the producer's *last* iterations: no two-stage overlap schedule and no
+    wavefront skew exists, even though the loop pair, dependence counts,
+    and self-recurrence mimic :func:`t_wavefront_skewed`.  The ``(i_x,
+    i_y)`` pair cloud is not a line — the affine fit that licenses a
+    wavefront fails by construction.  Only the producer loop is do-all.
+    """
+    n = rng.randrange(16, 41)
+    c = float(rng.randrange(2, 6))
+    q = rng.choice([5, 7, 11])
+    b = ProgramBuilder()
+    with b.function(
+        "void", "kernel", ("float", "A[]"), ("float", "B[]"), ("float", "C[]"),
+        ("int", "n"),
+    ) as f:
+        with f.for_loop("i", 0, f.var("n")) as i:
+            f.assign(f.index("B", i), f.index("A", i) * c)
+        with f.for_loop("j", 1, f.var("n")) as j:
+            f.assign(
+                f.index("C", j),
+                f.index("C", j - 1) + f.index("B", (j * q) % f.var("n")),
+            )
+    return TemplateProgram(
+        template="near_wavefront",
+        source=b.build().source,
+        entry="kernel",
+        arg_specs=_array_args(n, ("A", "rand"), ("B", "zeros"), ("C", "rand")),
+        truth=_truth(doall=True),  # producer only; no pipeline, no wavefront
+    )
+
+
+#: The adversarial family, appended to the rotation by
+#: ``generate_programs(..., adversarial=True)``.  Same stability contract
+#: as TEMPLATES: order is append-only.
+ADVERSARIAL_TEMPLATES = (
+    t_almost_reduction,
+    t_false_doall,
+    t_near_wavefront,
+)

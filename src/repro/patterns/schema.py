@@ -475,6 +475,65 @@ def analysis_from_dict(data: dict[str, Any]) -> AnalysisResult:
 
 
 # ---------------------------------------------------------------------------
+# learned-verdict extension block
+# ---------------------------------------------------------------------------
+
+#: Top-level key of the learned-classifier extension block.
+LEARNED_BLOCK_KEY = "learned"
+
+
+def attach_learned_verdicts(
+    doc: dict[str, Any],
+    *,
+    model_kind: str,
+    model_digest: str,
+    features_version: int,
+    verdicts: dict[str, bool],
+) -> dict[str, Any]:
+    """Attach a learned-classifier verdict block to an analysis document.
+
+    Tolerated extension (no version bump), mirroring ``wavefronts``: the
+    rule-based pipeline never emits this key, so every document produced
+    by :func:`analysis_to_dict` — including all benchmark goldens — stays
+    byte-identical whether or not the learned subsystem is installed.
+    Consumers that opt in stamp the predicting model's identity next to
+    its verdicts, so a document always names the artifact that judged it.
+    """
+    if not verdicts:
+        raise ValueError("learned block requires at least one verdict")
+    for dim, value in verdicts.items():
+        if not isinstance(dim, str) or not isinstance(value, bool):
+            raise ValueError(
+                f"learned verdicts must map str -> bool, got {dim!r}: {value!r}"
+            )
+    doc[LEARNED_BLOCK_KEY] = {
+        "model": model_kind,
+        "model_digest": model_digest,
+        "features_version": features_version,
+        "verdicts": dict(sorted(verdicts.items())),
+    }
+    return doc
+
+
+def learned_verdicts_from_dict(data: dict[str, Any]) -> dict[str, Any] | None:
+    """Read back an attached learned block (``None`` when absent).
+
+    Validates the shape written by :func:`attach_learned_verdicts`;
+    documents that never opted in pass through silently.
+    """
+    block = data.get(LEARNED_BLOCK_KEY)
+    if block is None:
+        return None
+    for key in ("model", "model_digest", "features_version", "verdicts"):
+        if key not in block:
+            raise ValueError(f"learned block missing key {key!r}")
+    for dim, value in block["verdicts"].items():
+        if not isinstance(value, bool):
+            raise ValueError(f"learned verdict for {dim!r} is not a bool")
+    return block
+
+
+# ---------------------------------------------------------------------------
 # service job-record envelope
 # ---------------------------------------------------------------------------
 

@@ -77,6 +77,10 @@ class PETNode:
         for child in self.children:
             yield from child.walk()
 
+    def max_depth(self) -> int:
+        """Height of this subtree in nodes (a leaf is depth 1)."""
+        return 1 + max((c.max_depth() for c in self.children), default=0)
+
     def compute_inclusive(self) -> int:
         self.inclusive_cost = self.exclusive_cost + sum(
             c.compute_inclusive() for c in self.children
@@ -170,6 +174,16 @@ class Profile:
 
     def carried_raw_vars(self, loop: int) -> set[str]:
         return {d.var for d in self.deps if d.carrier == loop and d.kind == RAW}
+
+    def live_deps(self, live_vars: "set[str] | frozenset[str]") -> Iterable[DepKey]:
+        """Dependences on variables in *live_vars*, in ``deps`` order.
+
+        The feature-extraction hook for :mod:`repro.learn`: transforms that
+        add write-only (dead) locals introduce dependences the live view of
+        the program never sees, so extractors iterate this instead of
+        ``deps`` to stay invariant under them.
+        """
+        return (d for d in self.deps if d.var in live_vars)
 
     def trip_count(self, loop: int) -> int:
         """Total body executions of *loop* across all activations."""

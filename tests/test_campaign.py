@@ -38,6 +38,9 @@ from repro.patterns.schema import (
     validate_campaign_record,
 )
 from repro.service.client import ServiceClient
+
+#: Everything here drives a live daemon: excluded from the fast CI lane (-m "not slow").
+pytestmark = pytest.mark.slow
 from repro.service.jobs import job_digest
 from repro.service.server import AnalysisService
 

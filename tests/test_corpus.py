@@ -290,7 +290,10 @@ class TestCli:
         assert "cannot load" in capsys.readouterr().err
 
 
+@pytest.mark.slow
 class TestCampaignIntegration:
+    """Campaign/daemon round-trips: excluded from the fast CI lane."""
+
     def test_campaign_runs_over_a_corpus_directory(self, corpus_dir, tmp_path, capsys):
         from repro.cli import main
 

@@ -14,6 +14,8 @@ adds queue-wait).
 
 import json
 
+import pytest
+
 from repro.api import compile_source
 from repro.patterns.engine import analyze
 from repro.patterns.schema import analysis_to_dict, strip_trace_timings
@@ -53,6 +55,7 @@ def _local_doc(cache):
 
 
 class TestColdWarmServiceIdentity:
+    @pytest.mark.slow  # starts a live daemon for the third path
     def test_three_paths_byte_identical_after_strip(self, tmp_path):
         cache = ProfileCache(root=tmp_path / "cache")
         cold = _local_doc(cache)
@@ -87,3 +90,41 @@ class TestColdWarmServiceIdentity:
         assert "cache.read" in warm_names and "cache.store" not in warm_names
         # round-trip safety: the stripped docs still parse as JSON equal
         assert json.loads(_canonical(cold)) == json.loads(_canonical(warm))
+
+
+class TestLearnArtifactDeterminism:
+    """The learned baseline inherits the same contract: features and model
+    artifacts are byte-identical across repeated runs, across the compiled
+    and tree engines, and across serial vs ``--parallel`` extraction."""
+
+    @pytest.fixture(scope="class")
+    def suite(self, tmp_path_factory):
+        from repro.corpus import generate_corpus, load_corpus
+
+        out = tmp_path_factory.mktemp("learn-det") / "corpus"
+        generate_corpus(12, 9, out, adversarial=True)
+        return load_corpus(out)
+
+    def test_features_byte_identical_across_runs_engines_parallelism(
+        self, suite
+    ):
+        from repro.learn import corpus_features
+
+        baseline = canonical_json(corpus_features(suite))
+        assert canonical_json(corpus_features(suite)) == baseline
+        assert canonical_json(corpus_features(suite, engine="tree")) == baseline
+        assert canonical_json(corpus_features(suite, parallel=True)) == baseline
+
+    def test_model_artifact_byte_identical_across_runs_and_engines(
+        self, suite
+    ):
+        from repro.learn import train_on_corpus
+
+        for kind in ("logistic", "tree"):
+            baseline = train_on_corpus(suite, kind=kind, seed=5).to_json()
+            again = train_on_corpus(suite, kind=kind, seed=5).to_json()
+            tree_engine = train_on_corpus(
+                suite, kind=kind, seed=5, engine="tree", parallel=True
+            ).to_json()
+            assert again == baseline
+            assert tree_engine == baseline

@@ -22,6 +22,10 @@ from repro.service.client import ServiceClient
 from repro.service.jobs import Job
 from repro.service.server import AnalysisService
 
+#: Everything here drives a live daemon or worker pool: excluded from the
+#: fast CI lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 SRC = """\
 float total(float A[], int n) {
     float s = 0.0;

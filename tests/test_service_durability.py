@@ -10,6 +10,9 @@ from repro.service.jobs import JobStore
 from repro.service.server import AnalysisService
 from repro.service.store import SqliteJobLog
 
+#: Everything here drives a live daemon: excluded from the fast CI lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 SRC = """\
 float total(float A[], int n) {
     float s = 0.0;

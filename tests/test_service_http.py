@@ -14,6 +14,9 @@ from repro.profiling.serialize import canonical_json
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.server import AnalysisService
 
+#: Everything here drives a live daemon: excluded from the fast CI lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 SRC = """\
 float total(float A[], int n) {
     float s = 0.0;
